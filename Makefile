@@ -1,0 +1,23 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench tables census quick all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+tables:
+	python -m repro tables
+
+census:
+	python -m repro census
+
+quick:
+	python examples/quickstart.py
+
+all: test bench

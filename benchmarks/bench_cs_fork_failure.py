@@ -1,0 +1,41 @@
+"""C9 (Section 5.4): when a fork fails.
+
+"Earlier versions of the systems would raise an error when a FORK
+failed ... good recovery schemes seem never to have been worked out."
+"Our more recent implementations simply wait in the fork implementation
+for more resources to become available, but the behaviors seen by the
+user, such as long delays in response ... go unexplained."
+"""
+
+from repro.analysis.report import format_table
+from repro.casestudies.fork_failure import run_comparison
+from repro.kernel.simtime import msec
+
+
+def test_fork_failure_policies(benchmark):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    raised = results["raise"]
+    waited = results["wait"]
+    print()
+    print(
+        format_table(
+            "C9: 30 fork-per-request jobs against an 8-slot thread table",
+            ["policy", "completed", "failures", "mean latency (ms)",
+             "max latency (ms)"],
+            [
+                ["raise (old)", raised.completed, raised.failures,
+                 raised.mean_latency / 1000, raised.max_latency / 1000],
+                ["wait (new)", waited.completed, waited.failures,
+                 waited.mean_latency / 1000, waited.max_latency / 1000],
+            ],
+        )
+    )
+    # The raise policy drops most of the burst (recovery = drop).
+    assert raised.failures > raised.completed
+    assert raised.completed + raised.failures == raised.requests
+    # The wait policy completes everything...
+    assert waited.completed == waited.requests
+    assert waited.failures == 0
+    # ...at the price of long, unexplained response delays.
+    assert waited.max_latency > 3 * raised.max_latency / 2
+    assert waited.max_latency > msec(100)

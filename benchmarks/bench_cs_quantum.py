@@ -1,0 +1,95 @@
+"""C2 (Section 6.3): the effect of the time-slice quantum.
+
+Paper claims asserted, per quantum:
+
+* 1 s quantum: "X events would be buffered for one second before being
+  sent and the user would observe very bursty screen painting" — echo
+  latency explodes;
+* 1 ms quantum: "the YieldButNotToMe would yield only very briefly and
+  we would be back to the start of our problems again" — merging
+  collapses;
+* 50 ms: the deployed sweet spot for YieldButNotToMe;
+* sleep-instead-of-yield "would work fine" at a 20 ms quantum but is
+  "a little bit too long for snappy keyboard echoing" at 50 ms.
+"""
+
+from repro.analysis.report import format_table
+from repro.casestudies.quantum import sweep_quantum
+from repro.kernel.simtime import msec, sec
+
+
+def _print_sweep(sweep, label):
+    rows = []
+    for quantum, result in sweep.results.items():
+        rows.append(
+            [
+                f"{quantum / 1000:g} ms",
+                f"{result.mean_batch:.2f}",
+                f"{result.mean_latency / 1000:.1f} ms",
+                f"{result.max_latency / 1000:.1f} ms",
+                result.flushes,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            f"C2 ({label}): quantum sweep",
+            ["quantum", "mean batch", "mean echo", "max echo", "flushes"],
+            rows,
+        )
+    )
+
+
+def test_quantum_sweep_ybntm(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: sweep_quantum("ybntm"), rounds=1, iterations=1
+    )
+    _print_sweep(sweep, "YieldButNotToMe")
+    # 1 ms: the donation expires almost immediately — batching collapses
+    # back toward one request per flush, and the per-request flush cost
+    # backs the whole pipeline up ("back to the start of our problems").
+    assert sweep.results[msec(1)].mean_batch <= 1.5
+    assert sweep.results[msec(1)].mean_latency > (
+        2 * sweep.results[msec(50)].mean_latency
+    )
+    # 50 ms: healthy batching, interactive echo.
+    assert sweep.results[msec(50)].mean_batch >= 3.0
+    assert sweep.results[msec(50)].mean_latency <= msec(80)
+    # 1 s: batching persists (sends ride the producer's idle moments
+    # once donations can no longer expire between keys).
+    assert sweep.results[sec(1)].mean_batch >= 3.5
+
+
+def test_quantum_sweep_sleep_strategy(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: sweep_quantum("sleep"), rounds=1, iterations=1
+    )
+    _print_sweep(sweep, "sleep-instead-of-yield")
+    # "the smallest sleep interval is the remainder of the scheduler
+    # quantum": at 20 ms the timeout approach works fine...
+    twenty = sweep.results[msec(20)]
+    assert twenty.mean_batch >= 3.0
+    assert twenty.mean_latency <= msec(70)
+    # ...at 50 ms it batches but the echo is less snappy...
+    fifty = sweep.results[msec(50)]
+    assert fifty.mean_batch >= 3.0
+    assert fifty.mean_latency >= twenty.mean_latency
+    # ...and at 1 s "X events would be buffered for one second before
+    # being sent and the user would observe very bursty screen painting".
+    assert sweep.results[sec(1)].mean_latency >= msec(300)
+    assert sweep.results[sec(1)].flushes <= 3
+
+
+def test_sleep_at_20ms_beats_sleep_at_50ms_for_echo(benchmark):
+    """The paper's precise counterfactual: "if the scheduler quantum were
+    20 milliseconds, using a timeout instead of a yield in the buffer
+    thread would work fine"."""
+    sweep = benchmark.pedantic(
+        lambda: sweep_quantum("sleep", quanta=(msec(20), msec(50))),
+        rounds=1,
+        iterations=1,
+    )
+    assert (
+        sweep.results[msec(20)].mean_latency
+        <= sweep.results[msec(50)].mean_latency
+    )

@@ -1,0 +1,76 @@
+"""C8 (Section 5.1): the cost of forked sleepers vs PeriodicalProcess.
+
+"Using FORK to create sleeper threads has fallen into disfavor with the
+advent of the PCR thread implementation: 100 kilobytes for each of
+hundreds of sleepers' stacks is just too expensive.  The
+PeriodicalProcess module ... often can accomplish the same thing using
+closures to maintain the little bit of state necessary between
+activations."
+"""
+
+from repro.analysis.report import format_table
+from repro.kernel import Kernel, KernelConfig
+from repro.kernel.simtime import msec, sec
+from repro.paradigms.sleeper import PeriodicalProcess, Sleeper
+
+SLEEPERS = 200
+STACK = 100 * 1024
+
+
+def _forked_world():
+    kernel = Kernel(KernelConfig(stack_reservation=STACK))
+    counters = [0] * SLEEPERS
+    for index in range(SLEEPERS):
+        sleeper = Sleeper(
+            f"sleeper-{index}", msec(200 + (index % 10) * 50),
+            lambda i=index: counters.__setitem__(i, counters[i] + 1),
+        )
+        kernel.fork_root(sleeper.proc, name=sleeper.name)
+    kernel.run_for(sec(5))
+    activations = sum(counters)
+    stack_bytes = kernel.stats.max_stack_bytes
+    kernel.shutdown()
+    return activations, stack_bytes
+
+
+def _multiplexed_world():
+    kernel = Kernel(KernelConfig(stack_reservation=STACK))
+    counters = [0] * SLEEPERS
+    pp = PeriodicalProcess()
+    for index in range(SLEEPERS):
+        pp.add(
+            f"closure-{index}", msec(200 + (index % 10) * 50),
+            lambda i=index: counters.__setitem__(i, counters[i] + 1),
+        )
+    kernel.fork_root(pp.proc, name="PeriodicalProcess")
+    kernel.run_for(sec(5))
+    activations = sum(counters)
+    stack_bytes = kernel.stats.max_stack_bytes
+    kernel.shutdown()
+    return activations, stack_bytes
+
+
+def test_sleeper_stack_economy(benchmark):
+    forked_activations, forked_stack = benchmark.pedantic(
+        _forked_world, rounds=1, iterations=1
+    )
+    multiplexed_activations, multiplexed_stack = _multiplexed_world()
+    print()
+    print(
+        format_table(
+            f"C8: {SLEEPERS} sleepers, forked threads vs PeriodicalProcess",
+            ["implementation", "activations (5s)", "stack VM (KB)"],
+            [
+                ["one FORKed thread each", forked_activations,
+                 forked_stack // 1024],
+                ["PeriodicalProcess (closures)", multiplexed_activations,
+                 multiplexed_stack // 1024],
+            ],
+        )
+    )
+    # Same logical work gets done (within tick-drift tolerance)...
+    assert multiplexed_activations >= 0.7 * forked_activations
+    # ...for 1/200th of the stack memory.
+    assert forked_stack == SLEEPERS * STACK
+    assert multiplexed_stack == STACK
+    assert forked_stack // multiplexed_stack == SLEEPERS

@@ -1,0 +1,64 @@
+"""C6 (Section 5.3): timeouts masking a missing NOTIFY.
+
+"There were cases where timeouts had been introduced to compensate for
+missing NOTIFYs (bugs), instead of fixing the underlying problem.  The
+problem with this is that the system can become timeout driven — it
+apparently works correctly but slowly."
+"""
+
+from repro.analysis.report import format_table
+from repro.casestudies.wait_bugs import run_if_wait_bug, run_missing_notify
+
+
+def test_missing_notify_timeout_driven(benchmark):
+    buggy = benchmark.pedantic(
+        lambda: run_missing_notify(notify_present=False),
+        rounds=1,
+        iterations=1,
+    )
+    correct = run_missing_notify(notify_present=True)
+    print()
+    print(
+        format_table(
+            "C6: producer/consumer with and without its NOTIFY",
+            ["variant", "items", "completed at (ms)", "throughput/s"],
+            [
+                ["NOTIFY present", correct.items,
+                 (correct.completion_time or 0) / 1000,
+                 correct.throughput_per_sec],
+                ["NOTIFY missing (timeout-masked)", buggy.items,
+                 (buggy.completion_time or 0) / 1000,
+                 buggy.throughput_per_sec],
+            ],
+        )
+    )
+    # "apparently works correctly" — all items are consumed either way...
+    assert buggy.items == correct.items == 20
+    assert buggy.completion_time is not None
+    # ..."but slowly": the timeout-driven system is an order of magnitude
+    # slower, paced by the CV timeout rather than by production.
+    assert buggy.completion_time > 10 * correct.completion_time
+
+
+def test_if_wait_underflows_while_loop_does_not(benchmark):
+    """§5.3's first questionable practice: WAIT guarded by IF instead of
+    WHILE proceeds on a stolen wakeup."""
+    if_result = benchmark.pedantic(
+        lambda: run_if_wait_bug(style="if"), rounds=1, iterations=1
+    )
+    while_result = run_if_wait_bug(style="while")
+    print()
+    print(
+        format_table(
+            "C6b: IF-based vs WHILE-based WAIT under a BROADCAST race",
+            ["style", "consumed", "underflows"],
+            [
+                ["IF (the bug)", if_result.consumed, if_result.underflows],
+                ["WHILE (correct)", while_result.consumed,
+                 while_result.underflows],
+            ],
+        )
+    )
+    assert if_result.underflows >= 1
+    assert while_result.underflows == 0
+    assert while_result.consumed == 1

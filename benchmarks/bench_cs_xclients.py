@@ -1,0 +1,58 @@
+"""C5 (Section 5.6): modified Xlib vs Xl under a mixed interactive load.
+
+Paper claims asserted:
+
+* Xlib's flush-on-read coupling fragments batches ("an excessive number
+  of output flushes, defeating the throughput gains of batching");
+* Xlib's library mutex is held across blocked reads, so painters stall
+  behind GetEvent (contention blocks; painting finishes later);
+* Xl's reader thread blocks indefinitely, GetEvent timeouts ride the CV
+  mechanism cleanly, and the event-queue lock sees no contention.
+"""
+
+from repro.analysis.report import format_table
+from repro.casestudies.xclients import run_comparison
+
+
+def test_xlib_vs_xl(benchmark):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    xlib = results["xlib"]
+    xl = results["xl"]
+    print()
+    print(
+        format_table(
+            "C5: modified Xlib vs Xl",
+            ["metric", "modified Xlib", "Xl"],
+            [
+                ["server flushes", xlib.flushes, xl.flushes],
+                ["requests shipped", xlib.requests_shipped,
+                 xl.requests_shipped],
+                ["server transaction time (us)", xlib.server_busy,
+                 xl.server_busy],
+                ["events received", xlib.events_received, xl.events_received],
+                ["library-lock contention blocks",
+                 xlib.lock_contention_blocks, xl.lock_contention_blocks],
+                ["GetEvent timeouts honoured",
+                 xlib.getevent_timeouts_honoured,
+                 xl.getevent_timeouts_honoured],
+                ["painting finished at (ms)",
+                 xlib.painting_done_at / 1000, xl.painting_done_at / 1000],
+            ],
+        )
+    )
+    # Both libraries deliver all events and honour client timeouts.
+    assert xlib.events_received == xl.events_received == 5
+    assert xlib.getevent_timeouts_honoured >= 1
+    assert xl.getevent_timeouts_honoured >= 1
+    # Xl's slack process gathers whole bursts and merges overlapping
+    # regions before the server sees them; Xlib ships every request and
+    # flushes on the read-retry cadence — "defeating the throughput
+    # gains of batching requests".
+    assert xlib.requests_shipped == xlib.paints
+    assert xl.requests_shipped <= 0.5 * xlib.requests_shipped
+    assert xlib.flushes > xl.flushes
+    assert xl.server_busy < 0.85 * xlib.server_busy
+    # The Xlib mutex stalls painters; Xl's event-queue lock never blocks.
+    assert xlib.lock_contention_blocks >= 8
+    assert xl.lock_contention_blocks == 0
+    assert xlib.painting_done_at > 1.2 * xl.painting_done_at

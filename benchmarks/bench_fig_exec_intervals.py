@@ -1,0 +1,60 @@
+"""F1: the execution-interval distribution (Section 3 text).
+
+"Thread execution intervals ... exhibit a peak at about 3 milliseconds,
+with about 75% of all execution intervals being between 0 and 5
+milliseconds in length. ... A second peak is around 45 milliseconds,
+which is related to the PCR time-slice period."  For GVX: "between 50%
+and 70% of all execution intervals are between 0 and 5 milliseconds".
+"""
+
+from repro.analysis.intervals import has_bimodal_shape, summarise
+from repro.analysis.report import format_table
+
+
+def _print_histogram(summary, label):
+    print()
+    print(
+        format_table(
+            f"F1 ({label}): execution-interval histogram "
+            f"({summary.count} intervals, "
+            f"{100 * summary.short_fraction:.0f}% in 0-5 ms)",
+            ["bucket", "count"],
+            summary.histogram,
+        )
+    )
+
+
+def test_exec_intervals_cedar(benchmark, cedar_results):
+    intervals = [d for d, _p in cedar_results["idle"].extras["exec_intervals"]]
+    summary = benchmark.pedantic(
+        lambda: summarise(intervals), rounds=1, iterations=1
+    )
+    _print_histogram(summary, "Cedar idle")
+    # ~75% of intervals in 0-5 ms (we allow 70-90%).
+    assert 0.70 <= summary.short_fraction <= 0.90
+    assert has_bimodal_shape(intervals)
+
+
+def test_exec_intervals_gvx(benchmark, gvx_results):
+    intervals = [d for d, _p in gvx_results["idle"].extras["exec_intervals"]]
+    summary = benchmark.pedantic(
+        lambda: summarise(intervals), rounds=1, iterations=1
+    )
+    _print_histogram(summary, "GVX idle")
+    # "between 50% and 70% of all execution intervals are 0-5 ms".
+    assert 0.45 <= summary.short_fraction <= 0.75
+    assert has_bimodal_shape(intervals)
+
+
+def test_exec_intervals_under_load(benchmark, cedar_results):
+    """The bimodal shape persists under the busy benchmarks, with the
+    quantum peak fed by the compute-bound workers."""
+    intervals = [
+        d for d, _p in cedar_results["compile"].extras["exec_intervals"]
+    ]
+    summary = benchmark.pedantic(
+        lambda: summarise(intervals), rounds=1, iterations=1
+    )
+    _print_histogram(summary, "Cedar compile")
+    assert summary.short_fraction >= 0.6
+    assert has_bimodal_shape(intervals)

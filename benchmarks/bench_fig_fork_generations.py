@@ -1,0 +1,92 @@
+"""F3: forking-pattern analysis (Section 3 text).
+
+"None of our benchmarks exhibited forking generations greater than 2.
+That is, every transient thread was either the child or grandchild of
+some worker or long-lived thread."  Plus the per-activity patterns:
+keyboard forks one transient per keystroke, mouse motion forks nothing,
+the formatter's transients fork children, the previewer's run to
+completion.
+"""
+
+from repro.analysis.genealogy import analyse
+from repro.analysis.report import format_table
+
+
+def test_fork_generations_bounded(benchmark, cedar_results):
+    reports = benchmark.pedantic(
+        lambda: {
+            activity: analyse(result.extras["thread_log"])
+            for activity, result in cedar_results.items()
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [activity,
+         report.by_generation.get(0, 0),
+         report.by_generation.get(1, 0),
+         report.by_generation.get(2, 0),
+         report.max_generation]
+        for activity, report in reports.items()
+    ]
+    print()
+    print(
+        format_table(
+            "F3 (Cedar): threads per fork generation "
+            "(paper: no generation exceeds 2)",
+            ["activity", "gen0", "gen1", "gen2", "max"],
+            rows,
+        )
+    )
+    for activity, report in reports.items():
+        assert report.max_generation <= 2, activity
+
+
+def test_formatting_transients_fork_children(benchmark, cedar_results):
+    report = benchmark.pedantic(
+        lambda: analyse(cedar_results["formatting"].extras["thread_log"]),
+        rounds=1,
+        iterations=1,
+    )
+    # "each of the document formatter's transient threads fork one or
+    # more additional transient threads" — generation 2 is populated.
+    assert report.by_generation.get(2, 0) >= 1
+    assert any("fmt-child" in kind for kind in report.grandchild_kinds)
+
+
+def test_previewer_transients_run_to_completion(benchmark, cedar_results):
+    report = benchmark.pedantic(
+        lambda: analyse(cedar_results["previewing"].extras["thread_log"]),
+        rounds=1,
+        iterations=1,
+    )
+    # "the compiler's and previewer's transient threads simply run to
+    # completion": previewer transients never fork grandchildren.
+    preview_grandchildren = [
+        kind for kind in report.grandchild_kinds if "preview" in kind
+    ]
+    assert preview_grandchildren == []
+
+
+def test_idle_transient_chain(benchmark, cedar_results):
+    report = benchmark.pedantic(
+        lambda: analyse(cedar_results["idle"].extras["thread_log"]),
+        rounds=1,
+        iterations=1,
+    )
+    # "Each forked thread, in turn, forks another transient thread."
+    assert report.by_generation.get(1, 0) >= 3
+    assert report.by_generation.get(2, 0) >= 3
+
+
+def test_gvx_never_forks(benchmark, gvx_results):
+    reports = benchmark.pedantic(
+        lambda: {
+            activity: analyse(result.extras["thread_log"])
+            for activity, result in gvx_results.items()
+        },
+        rounds=1,
+        iterations=1,
+    )
+    for activity, report in reports.items():
+        assert report.transient_count == 0, activity

@@ -1,0 +1,86 @@
+"""F4: priority usage (Section 3 text).
+
+"Of the 7 available priority levels one wasn't used at all"; "Cedar uses
+level 7 for interrupt handling and doesn't use level 5, GVX does the
+opposite.  In both systems, priority level 6 gets used by the system
+daemon"; Cedar's long-lived threads spread over 1-4, GVX concentrates on
+level 3; "user interface activity tended to use higher priorities for
+its threads than did user-initiated tasks such as compiling."
+"""
+
+from repro.analysis.priorities import analyse
+from repro.analysis.report import format_table
+
+
+def _report_for(result):
+    return analyse(
+        result.extras["cpu_by_priority"], result.extras["thread_log"]
+    )
+
+
+def _print(report, label):
+    rows = [
+        [level,
+         report.threads_by_priority.get(level, 0),
+         report.cpu_by_priority.get(level, 0)]
+        for level in range(1, 8)
+    ]
+    print()
+    print(
+        format_table(
+            f"F4 ({label}): priority usage",
+            ["priority", "threads", "cpu (us)"],
+            rows,
+        )
+    )
+
+
+def test_priority_usage_cedar(benchmark, cedar_results):
+    report = benchmark.pedantic(
+        lambda: _report_for(cedar_results["idle"]), rounds=1, iterations=1
+    )
+    _print(report, "Cedar idle")
+    # Level 5 is Cedar's unused level; 7 is the Notifier's.
+    assert 5 in report.unused_levels
+    assert report.threads_by_priority[7] >= 1
+    assert report.cpu_by_priority[7] > 0
+    # The standard levels 1-4 each host a solid share of the eternals.
+    for level in (1, 2, 3, 4):
+        assert report.threads_by_priority[level] >= 5
+    # Level 6: SystemDaemon + GC daemon.
+    assert report.threads_by_priority[6] == 2
+
+
+def test_priority_usage_gvx(benchmark, gvx_results):
+    report = benchmark.pedantic(
+        lambda: _report_for(gvx_results["idle"]), rounds=1, iterations=1
+    )
+    _print(report, "GVX idle")
+    # GVX "does the opposite": level 7 unused, level 5 in use.
+    assert 7 in report.unused_levels
+    assert report.threads_by_priority[5] >= 1
+    # "GVX sets almost all of its threads to priority level 3."
+    assert report.threads_by_priority[3] == max(
+        report.threads_by_priority.values()
+    )
+    assert report.threads_by_priority[3] >= 14
+    # "Two of the five low-priority threads in fact never ran."
+    low_levels_cpu = report.cpu_by_priority[1] + report.cpu_by_priority[2]
+    assert report.threads_by_priority[1] + report.threads_by_priority[2] >= 4
+
+
+def test_ui_priorities_above_compute(benchmark, cedar_results):
+    """"User interface activity tended to use higher priorities for its
+    threads than did user-initiated tasks such as compiling."""
+    def weighted_mean(result):
+        log = result.extras["thread_log"]
+        transient = [r for r in log if r.generation >= 1]
+        if not transient:
+            return 0.0
+        return sum(r.priority for r in transient) / len(transient)
+
+    keyboard = benchmark.pedantic(
+        lambda: weighted_mean(cedar_results["keyboard"]), rounds=1, iterations=1
+    )
+    compile_mean = weighted_mean(cedar_results["compile"])
+    assert keyboard > compile_mean

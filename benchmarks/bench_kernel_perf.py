@@ -1,0 +1,76 @@
+"""Simulator microbenchmarks: real wall-clock cost of the kernel itself.
+
+Not a paper artifact — these quantify how much simulated activity a
+second of host CPU buys, which is what bounds how long a measurement
+window the other benches can afford.
+"""
+
+from repro.kernel import Kernel, KernelConfig, msec, sec, usec
+from repro.kernel import primitives as p
+from repro.kernel.primitives import Enter, Exit
+from repro.sync.monitor import Monitor
+
+
+def test_perf_monitor_traffic(benchmark):
+    """Throughput of the hottest path: enter/exit on a free monitor."""
+
+    def run():
+        kernel = Kernel(KernelConfig(switch_cost=0, monitor_overhead=0))
+        lock = Monitor("hot")
+
+        def worker():
+            for _ in range(20_000):
+                yield Enter(lock)
+                yield Exit(lock)
+
+        kernel.fork_root(worker)
+        kernel.run_for(sec(10))
+        enters = kernel.stats.ml_enters
+        kernel.shutdown()
+        return enters
+
+    enters = benchmark(run)
+    assert enters == 20_000
+
+
+def test_perf_context_switching(benchmark):
+    """Two threads ping-ponging through yields."""
+
+    def run():
+        kernel = Kernel(KernelConfig(switch_cost=usec(40)))
+
+        def worker():
+            for _ in range(5_000):
+                yield p.Compute(usec(10))
+                yield p.Yield()
+
+        kernel.fork_root(worker)
+        kernel.fork_root(worker)
+        kernel.run_for(sec(60))
+        switches = kernel.stats.switches
+        kernel.shutdown()
+        return switches
+
+    switches = benchmark(run)
+    assert switches >= 10_000
+
+
+def test_perf_timer_wheel(benchmark):
+    """Many sleepers churning tick-granular timeouts."""
+
+    def run():
+        kernel = Kernel(KernelConfig(switch_cost=0))
+
+        def sleeper():
+            for _ in range(50):
+                yield p.Pause(msec(50))
+
+        for _ in range(50):
+            kernel.fork_root(sleeper)
+        kernel.run_for(sec(60))
+        dispatches = kernel.stats.dispatches
+        kernel.shutdown()
+        return dispatches
+
+    dispatches = benchmark(run)
+    assert dispatches >= 2_500

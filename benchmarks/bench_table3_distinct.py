@@ -1,0 +1,86 @@
+"""Table 3: number of different CVs and monitor locks used.
+
+Shape criteria asserted:
+
+* Cedar idle waits on ~22 distinct CVs; formatting is the CV maximum
+  (paper: 46); compile is the distinct-monitor maximum (paper: 2900,
+  "In contrast, only about 20 to 50 different condition variables are
+  waited for");
+* GVX uses far fewer distinct CVs (5-7) and monitors (~50 idle, ~200
+  under keyboard/scrolling);
+* every distinct-CV count is within the paper's 20-50 (Cedar) / 5-7
+  (GVX) ranges.
+"""
+
+from repro.analysis import dynamic
+from repro.analysis.report import format_table, ratio
+
+
+def _print_table(results, system):
+    rows = []
+    for activity, measured in results.items():
+        paper = dynamic.paper_row(system, activity)
+        rows.append(
+            [
+                activity,
+                paper.distinct_cvs,
+                measured.distinct_cvs,
+                paper.distinct_mls,
+                measured.distinct_mls,
+                ratio(measured.distinct_mls, paper.distinct_mls),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            f"Table 3 ({system}): distinct CVs and monitor locks used",
+            ["activity", "CVs(paper)", "CVs(meas)",
+             "MLs(paper)", "MLs(meas)", "ML ratio"],
+            rows,
+        )
+    )
+
+
+def test_table3_cedar(benchmark, cedar_results):
+    benchmark.pedantic(
+        lambda: dynamic.measure("Cedar", "compile"), rounds=1, iterations=1
+    )
+    _print_table(cedar_results, "Cedar")
+
+    cvs = {a: r.distinct_cvs for a, r in cedar_results.items()}
+    mls = {a: r.distinct_mls for a, r in cedar_results.items()}
+    # "only about 20 to 50 different condition variables are waited for".
+    for activity, count in cvs.items():
+        assert 20 <= count <= 50, (activity, count)
+    assert cvs["formatting"] == max(cvs.values())
+    # Monitors: hundreds to thousands; compile the sweep maximum.
+    assert mls["compile"] == max(mls.values())
+    assert mls["compile"] > 2000
+    assert 400 <= mls["idle"] <= 700
+    assert mls["make"] > mls["idle"]
+
+
+def test_table3_gvx(benchmark, gvx_results):
+    benchmark.pedantic(
+        lambda: dynamic.measure("GVX", "scrolling"), rounds=1, iterations=1
+    )
+    _print_table(gvx_results, "GVX")
+
+    cvs = {a: r.distinct_cvs for a, r in gvx_results.items()}
+    mls = {a: r.distinct_mls for a, r in gvx_results.items()}
+    for activity, count in cvs.items():
+        assert 4 <= count <= 8, (activity, count)
+    assert 30 <= mls["idle"] <= 60
+    # Keyboard and scrolling each bring in ~200 monitors (204/209).
+    assert 150 <= mls["keyboard"] <= 260
+    assert 150 <= mls["scrolling"] <= 260
+
+
+def test_table3_cross_system(cedar_results, gvx_results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Cedar's monitor population dwarfs GVX's in every comparable state.
+    for activity in ("idle", "keyboard", "mouse", "scrolling"):
+        assert (
+            cedar_results[activity].distinct_mls
+            > 3 * gvx_results[activity].distinct_mls
+        )

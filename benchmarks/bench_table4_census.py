@@ -1,0 +1,99 @@
+"""Table 4: static counts of thread-usage paradigms.
+
+The census pipeline: generate the labelled corpus, classify every
+fragment with the grep-style rules (never looking at the labels), and
+compare the recovered distribution against the published table.
+
+Shape criteria asserted:
+
+* recovered counts match the published column exactly when the
+  classifier is perfect, and within a few fragments otherwise;
+* defer work is the most common paradigm in both systems (~31%/33%);
+* the ordering of the major Cedar rows holds
+  (defer > sleepers > pumps > deadlock avoiders > one-shots);
+* GVX has no task rejuvenators and no concurrency exploiters.
+"""
+
+from repro.analysis.classifier import accuracy, census
+from repro.analysis.report import format_table
+from repro.corpus import cedar_corpus, gvx_corpus
+from repro.corpus.model import PAPER_TABLE4, PARADIGMS
+import repro.corpus.model as model
+
+
+def _print_census(result, paper, accuracy_value):
+    rows = []
+    for paradigm in PARADIGMS:
+        measured = result.counts[paradigm]
+        published = paper[paradigm]
+        rows.append(
+            [
+                paradigm,
+                published,
+                measured,
+                f"{100 * result.fraction(paradigm):.0f}%",
+            ]
+        )
+    rows.append(["TOTAL", sum(paper.values()), result.total, "100%"])
+    print()
+    print(
+        format_table(
+            f"Table 4 ({result.system}): static paradigm census "
+            f"(classifier accuracy {accuracy_value:.1%})",
+            ["paradigm", "paper", "measured", "share"],
+            rows,
+        )
+    )
+
+
+def test_table4_cedar(benchmark):
+    corpus = cedar_corpus(seed=0)
+    result = benchmark.pedantic(
+        lambda: census(corpus, "Cedar"), rounds=1, iterations=1
+    )
+    acc = accuracy(corpus)
+    _print_census(result, PAPER_TABLE4["Cedar"], acc)
+
+    assert result.total == 348
+    assert acc >= 0.95
+    counts = result.counts
+    for paradigm in PARADIGMS:
+        assert abs(counts[paradigm] - PAPER_TABLE4["Cedar"][paradigm]) <= 5
+    # "Deferring work is the single most common use of forking."
+    assert counts[model.DEFER] == max(counts.values())
+    assert (
+        counts[model.DEFER] > counts[model.SLEEPER] > counts[model.PUMP]
+        > counts[model.DEADLOCK_AVOID] > counts[model.ONESHOT]
+    )
+
+
+def test_table4_gvx(benchmark):
+    corpus = gvx_corpus(seed=0)
+    result = benchmark.pedantic(
+        lambda: census(corpus, "GVX"), rounds=1, iterations=1
+    )
+    acc = accuracy(corpus)
+    _print_census(result, PAPER_TABLE4["GVX"], acc)
+
+    assert result.total == 234
+    assert acc >= 0.95
+    counts = result.counts
+    for paradigm in PARADIGMS:
+        assert abs(counts[paradigm] - PAPER_TABLE4["GVX"][paradigm]) <= 5
+    assert counts[model.REJUVENATE] == 0
+    assert counts[model.EXPLOITER] == 0
+    # The GVX unknown row is large (researcher unfamiliarity).
+    assert counts[model.UNKNOWN] >= 70
+
+
+def test_table4_shares_stable_across_seeds(benchmark):
+    """The census is about idiom recognition, not memorised strings: the
+    classifier must recover the distribution for corpora generated with
+    different identifier/comment randomisation."""
+
+    def run():
+        return [accuracy(cedar_corpus(seed=s)) for s in (1, 2, 3)]
+
+    accuracies = benchmark.pedantic(run, rounds=1, iterations=1)
+    for value in accuracies:
+        assert value >= 0.95

@@ -1,0 +1,28 @@
+"""Shared bench fixtures.
+
+The Table 1-3 benches all need the same twelve benchmark-activity runs;
+the session fixtures below run them once and share the results.  Each
+bench still times a representative simulation via the benchmark fixture,
+so `--benchmark-only` reports real simulation costs.
+"""
+
+import pytest
+
+from repro.analysis import dynamic
+from repro.kernel.kernel import shutdown_all_kernels
+
+
+@pytest.fixture(autouse=True)
+def _shutdown_kernels():
+    yield
+    shutdown_all_kernels()
+
+
+@pytest.fixture(scope="session")
+def cedar_results():
+    return {r.activity: r for r in dynamic.measure_all("Cedar")}
+
+
+@pytest.fixture(scope="session")
+def gvx_results():
+    return {r.activity: r for r in dynamic.measure_all("GVX")}

@@ -1,0 +1,44 @@
+"""Run the synthetic Cedar and GVX worlds through the paper's benchmark
+activities and print Tables 1-3, paper values alongside measured ones.
+
+This is the full Section 3 reproduction in one script; expect roughly a
+minute of wall-clock time for the 12 simulated worlds.
+
+Run:  python examples/cedar_session.py
+"""
+
+from repro.analysis import dynamic
+from repro.analysis.report import format_table
+
+
+def main() -> None:
+    for system in ("Cedar", "GVX"):
+        results = dynamic.measure_all(system)
+        rows = []
+        for result in results:
+            paper = dynamic.paper_row(system, result.activity)
+            rows.append(
+                [
+                    result.activity,
+                    f"{paper.forks_per_sec:g}/{result.forks_per_sec:.1f}",
+                    f"{paper.switches_per_sec:g}/{result.switches_per_sec:.0f}",
+                    f"{paper.waits_per_sec:g}/{result.waits_per_sec:.0f}",
+                    f"{100 * paper.timeout_fraction:.0f}/{100 * result.timeout_fraction:.0f}",
+                    f"{paper.ml_enters_per_sec:g}/{result.ml_enters_per_sec:.0f}",
+                    f"{paper.distinct_cvs}/{result.distinct_cvs}",
+                    f"{paper.distinct_mls}/{result.distinct_mls}",
+                ]
+            )
+        print()
+        print(
+            format_table(
+                f"{system}: Tables 1-3, shown as paper/measured",
+                ["activity", "forks/s", "switch/s", "waits/s",
+                 "tmo %", "ML/s", "#CVs", "#MLs"],
+                rows,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

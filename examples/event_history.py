@@ -1,0 +1,67 @@
+"""Render a "100 millisecond event history" — the microscopic analysis
+view the paper's authors stared at for a year (Section 7).
+
+Builds a small interactive scene (producer, consumer, sleeper, notifier)
+with tracing on, then prints one 100 ms window of per-thread scheduling
+events.
+
+Run:  python examples/event_history.py
+"""
+
+from repro.analysis.timeline import render_history
+from repro.kernel import Kernel, KernelConfig, msec, sec, usec
+from repro.kernel import primitives as p
+from repro.kernel.primitives import Enter, Exit, Notify
+from repro.sync import ConditionVariable, Monitor, await_condition
+
+
+def main() -> None:
+    kernel = Kernel(KernelConfig(seed=11, trace=True))
+    lock = Monitor("workq")
+    nonempty = ConditionVariable(lock, "workq.nonempty", timeout=msec(40))
+    queue = []
+    keyboard = kernel.channel("keyboard")
+
+    def producer():
+        while True:
+            yield p.Pause(msec(30))
+            yield Enter(lock)
+            try:
+                queue.append("item")
+                yield Notify(nonempty)
+            finally:
+                yield Exit(lock)
+
+    def consumer():
+        while True:
+            yield Enter(lock)
+            try:
+                yield from await_condition(nonempty, lambda: bool(queue))
+                queue.pop()
+            finally:
+                yield Exit(lock)
+            yield p.Compute(msec(3))
+
+    def notifier():
+        while True:
+            yield p.Channelreceive(keyboard)
+            yield p.Compute(usec(200))
+
+    def cursor_blink():
+        while True:
+            yield p.Pause(msec(45))
+            yield p.Compute(usec(300))
+
+    kernel.fork_root(producer, name="producer", priority=3)
+    kernel.fork_root(consumer, name="consumer", priority=5)
+    kernel.fork_root(notifier, name="Notifier", priority=7)
+    kernel.fork_root(cursor_blink, name="blink", priority=4)
+    kernel.post_every(msec(22), lambda k: keyboard.post("key"))
+    kernel.run_for(sec(1))
+
+    print(render_history(kernel.tracer, start=msec(500), end=msec(600)))
+    kernel.shutdown()
+
+
+if __name__ == "__main__":
+    main()

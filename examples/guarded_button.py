@@ -1,0 +1,50 @@
+"""One-shots: the guarded button (paper Section 4.3).
+
+"A guarded button must be pressed twice, in close, but not too close
+succession.  They usually look like 'Butten' on the screen."  After the
+first press a one-shot thread arms the button; a second click inside the
+window invokes the action; expiry repaints the guard.
+
+Run:  python examples/guarded_button.py
+"""
+
+from repro.kernel import Kernel, KernelConfig, msec, sec
+from repro.paradigms.oneshot import GuardedButton
+
+
+def drive(clicks: list[int], label: str) -> None:
+    kernel = Kernel(KernelConfig(seed=0))
+    fired = []
+    button = GuardedButton(
+        "delete-everything",
+        lambda: fired.append(True),
+        arming_period=msec(100),
+        invocation_window=msec(1500),
+    )
+    outcomes = []
+
+    def presser(at):
+        def proc():
+            result = yield from button.press()
+            outcomes.append((at, result, button.label))
+        return proc
+
+    for at in clicks:
+        kernel.post_at(at, lambda k, a=at: k.fork_root(presser(a), name=f"click@{a}"))
+    kernel.run_for(sec(4))
+
+    print(f"--- {label} ---")
+    for at, result, shown in outcomes:
+        print(f"  click at {at / 1000:>6.0f} ms -> {result:<14} label now {shown!r}")
+    print(f"  action fired: {bool(fired)}, guard repaints: {button.repaints}")
+    kernel.shutdown()
+
+
+def main() -> None:
+    drive([msec(100), msec(500)], "double click, well spaced: invokes")
+    drive([msec(100), msec(150)], "second click too close: swallowed")
+    drive([msec(100)], "single click: window expires, guard repainted")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: a tiny threaded application on the simulated PCR kernel.
+
+Shows the core API surface in one place:
+
+* thread bodies are generator functions that yield kernel traps;
+* FORK/JOIN, Compute, Pause;
+* a Mesa monitor protecting shared state, with a condition variable;
+* running the kernel and reading its statistics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.kernel import Kernel, KernelConfig, msec, sec, usec
+from repro.kernel import primitives as p
+from repro.sync import ConditionVariable, Monitor, await_condition
+from repro.kernel.primitives import Enter, Exit, Notify
+
+
+def main() -> None:
+    kernel = Kernel(KernelConfig(seed=42))
+
+    # Shared state, Mesa style: a monitor, a condition, plain data.
+    lock = Monitor("mailbox")
+    nonempty = ConditionVariable(lock, "mailbox.nonempty")
+    mailbox: list[str] = []
+
+    def producer():
+        """Put three messages in the box, 100 ms apart."""
+        for n in range(3):
+            yield p.Pause(msec(100))
+            yield Enter(lock)
+            try:
+                mailbox.append(f"message-{n}")
+                yield Notify(nonempty)
+            finally:
+                yield Exit(lock)
+        return "producer-done"
+
+    def consumer():
+        """Drain three messages; WAIT always sits inside a loop."""
+        received = []
+        for _ in range(3):
+            yield Enter(lock)
+            try:
+                yield from await_condition(nonempty, lambda: bool(mailbox))
+                received.append(mailbox.pop(0))
+            finally:
+                yield Exit(lock)
+            yield p.Compute(usec(200))  # pretend to process it
+        return received
+
+    def coordinator():
+        """FORK both, JOIN both — the basic Mesa idiom."""
+        producer_thread = yield p.Fork(producer, name="producer")
+        consumer_thread = yield p.Fork(consumer, name="consumer", priority=5)
+        yield p.Join(producer_thread)
+        messages = yield p.Join(consumer_thread)
+        print(f"[{(yield p.GetTime()) / 1000:.1f} ms] consumer got: {messages}")
+
+    kernel.fork_root(coordinator, name="coordinator")
+    kernel.run_for(sec(2))
+
+    stats = kernel.stats
+    print(
+        f"simulated 2 s: {stats.threads_created} threads, "
+        f"{stats.switches} switches, {stats.ml_enters} monitor entries, "
+        f"{stats.cv_waits} CV waits ({stats.cv_timeouts} timed out)"
+    )
+    kernel.shutdown()
+
+
+if __name__ == "__main__":
+    main()

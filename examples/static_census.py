@@ -1,0 +1,45 @@
+"""The Table 4 static census: generate the corpus, classify it like a
+reading researcher, print the recovered distribution.
+
+Also prints a couple of sample fragments so you can see what the
+classifier is looking at.
+
+Run:  python examples/static_census.py
+"""
+
+from repro.analysis.classifier import accuracy, census, classify
+from repro.analysis.report import format_table
+from repro.corpus import cedar_corpus, gvx_corpus
+from repro.corpus.model import PAPER_TABLE4, PARADIGMS
+
+
+def main() -> None:
+    for name, corpus in (("Cedar", cedar_corpus()), ("GVX", gvx_corpus())):
+        result = census(corpus, name)
+        rows = [
+            [paradigm, PAPER_TABLE4[name][paradigm], result.counts[paradigm],
+             f"{100 * result.fraction(paradigm):.0f}%"]
+            for paradigm in PARADIGMS
+        ]
+        rows.append(["TOTAL", sum(PAPER_TABLE4[name].values()),
+                     result.total, ""])
+        print()
+        print(
+            format_table(
+                f"Table 4 ({name}) — classifier accuracy "
+                f"{accuracy(corpus):.1%}",
+                ["paradigm", "paper", "recovered", "share"],
+                rows,
+            )
+        )
+
+    print()
+    print("=== sample fragments, as the census reads them ===")
+    for fragment in cedar_corpus()[:60:20]:
+        print(f"\n# {fragment.module}.{fragment.procedure} "
+              f"-> classified as {classify(fragment)!r}")
+        print(fragment.text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,158 @@
+"""A miniature Cedar "Viewer" session: most of the Section 4 paradigms
+cooperating in one application.
+
+The scene: a window system with two viewers.  Input events flow through
+a critical Notifier (defer work) into an MBQueue (serializer); clicks on
+a guarded button (one-shot) trigger a document format job (worker +
+defer work); repaints go through a slack process to the X server;
+adjusting the window boundary forks painters to avoid lock-order
+deadlock; a flaky client callback is survived via task rejuvenation; and
+cache sleepers tick away in the background.
+
+Run:  python examples/viewer_session.py
+"""
+
+from repro.kernel import Kernel, KernelConfig, msec, sec, usec
+from repro.kernel import primitives as p
+from repro.paradigms.deadlock_avoid import WindowManager
+from repro.paradigms.defer import CriticalEventLoop
+from repro.paradigms.oneshot import GuardedButton
+from repro.paradigms.rejuvenate import RejuvenatingDispatcher
+from repro.paradigms.serializer import MBQueue
+from repro.paradigms.slack import SlackProcess
+from repro.paradigms.sleeper import PeriodicalProcess
+from repro.sync.queues import UnboundedQueue
+from repro.xwindows.buffer_thread import PaintRequest
+from repro.xwindows.server import XServer
+
+
+def main() -> None:
+    kernel = Kernel(KernelConfig(seed=7))
+    log: list[str] = []
+
+    def note(message):
+        def _note(now):
+            log.append(f"[{now / 1000:7.1f} ms] {message}")
+        return _note
+
+    # -- substrate: X server + slack-process repaint path ----------------
+    server = XServer()
+    paint_queue = UnboundedQueue("paints")
+
+    def deliver(batch):
+        yield from server.submit(batch)
+
+    buffer_thread = SlackProcess("buffer", paint_queue, deliver,
+                                 strategy="ybntm")
+    kernel.fork_root(buffer_thread.proc, name="buffer", priority=5)
+
+    # -- window system: deadlock avoiders ---------------------------------
+    windows = WindowManager()
+    upper = windows.add_window("upper-viewer")
+    lower = windows.add_window("lower-viewer")
+
+    # -- serializer: the viewer's MBQueue ----------------------------------
+    mbq = MBQueue("viewer")
+    kernel.fork_root(mbq.proc, name="viewer.serializer", priority=4)
+
+    # -- one-shot: a guarded "Reformat" button ----------------------------
+    def reformat_action():
+        now = yield p.GetTime()
+        note("guarded button fired: forking format job")(now)
+        yield from _fork_format_job()
+
+    button = GuardedButton("Reformat", lambda: None,
+                           arming_period=msec(100),
+                           invocation_window=msec(1500))
+    button.action = reformat_action  # generator action
+
+    def _fork_format_job():
+        def format_job():
+            yield p.Compute(msec(30))  # format a page
+            for region in range(3):
+                yield from paint_queue.put(
+                    PaintRequest(region=f"page-region-{region}")
+                )
+                yield p.Compute(msec(1))
+            now = yield p.GetTime()
+            note("format job done, repaint queued")(now)
+
+        yield p.Fork(format_job, name="format-worker", priority=3,
+                     detached=True)
+
+    # -- rejuvenating input dispatcher -------------------------------------
+    raw_input = kernel.channel("raw-input")
+    dispatcher = RejuvenatingDispatcher(raw_input)
+
+    def fragile_tracker(event):
+        if event == ("mouse", "glitch"):
+            raise RuntimeError("tracker corrupted by odd event")
+
+    dispatcher.register(fragile_tracker)
+    kernel.fork_root(dispatcher.proc, name="dispatcher", priority=6)
+
+    # -- critical notifier: defers all real handling -----------------------
+    cooked_input = kernel.channel("cooked-input")
+
+    def handler_factory(event):
+        kind, payload = event
+
+        def handle():
+            if kind == "click-button":
+                result = yield from button.press()
+                now = yield p.GetTime()
+                note(f"button press -> {result}")(now)
+            elif kind == "adjust":
+                yield from windows.adjust_boundary(upper, lower, payload,
+                                                   fork_repaint=True)
+                now = yield p.GetTime()
+                note("boundary adjusted; painters forked")(now)
+            elif kind == "type":
+                yield from mbq.enqueue(lambda: None, key=payload,
+                                       cost=usec(150))
+
+        return handle
+
+    notifier = CriticalEventLoop(cooked_input, handler_factory,
+                                 worker_priority=4)
+    kernel.fork_root(notifier.proc, name="Notifier", priority=7)
+
+    # -- background sleepers, multiplexed on one thread ---------------------
+    caches = PeriodicalProcess("caches")
+    caches.add("font-cache-ager", msec(400), lambda: None)
+    caches.add("name-cache-ager", msec(700), lambda: None)
+    kernel.fork_root(caches.proc, name="caches", priority=2)
+
+    # -- the user's session -------------------------------------------------
+    def at(time, kind, payload=None):
+        kernel.post_at(time, lambda k: cooked_input.post((kind, payload)))
+
+    for i, char in enumerate("hello"):
+        at(msec(50 + 60 * i), "type", char)
+    at(msec(400), "click-button")       # arms the guard
+    at(msec(800), "click-button")       # fires it
+    at(msec(1200), "adjust", 24)        # boundary drag
+    kernel.post_at(msec(600), lambda k: raw_input.post(("mouse", "move")))
+    kernel.post_at(msec(650), lambda k: raw_input.post(("mouse", "glitch")))
+    kernel.post_at(msec(700), lambda k: raw_input.post(("mouse", "move")))
+
+    kernel.run_for(sec(4))
+
+    for line in log:
+        print(line)
+    print()
+    print(f"serializer processed {mbq.processed} keystrokes in order:",
+          mbq.history)
+    print(f"X server: {server.flushes} flushes, "
+          f"mean batch {server.mean_batch_size:.1f} "
+          f"(slack merge ratio {buffer_thread.merge_ratio:.2f})")
+    print(f"windows repainted: upper={upper.repaints} lower={lower.repaints} "
+          f"(forked painters: {windows.forked_repaints})")
+    print(f"dispatcher survived {dispatcher.log.restarts} client crash(es); "
+          f"background cache sleepers ran {caches.activations} times "
+          "on one stack")
+    kernel.shutdown()
+
+
+if __name__ == "__main__":
+    main()

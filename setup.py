@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept because the target environment is offline without the ``wheel``
+package, so ``pip install -e .`` must use the legacy setuptools path
+instead of PEP 660.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,10 @@
+"""Measurement analysis: turning runs into the paper's tables and figures.
+
+* :mod:`dynamic` — Tables 1-3 rows from world runs, with the paper's
+  reported values alongside;
+* :mod:`intervals` — the execution-interval histogram analyses (F1/F2);
+* :mod:`genealogy` — fork-generation analysis (F3);
+* :mod:`priorities` — CPU-time-by-priority and level-usage analysis (F4);
+* :mod:`classifier` — the grep-style paradigm classifier behind Table 4;
+* :mod:`report` — table formatting and paper-vs-measured comparison.
+"""

@@ -1,0 +1,87 @@
+"""Execution-interval analyses (F1/F2).
+
+Paper claims reproduced here (Section 3):
+
+* Cedar: "Thread execution intervals ... exhibit a peak at about 3
+  milliseconds, with about 75% of all execution intervals being between
+  0 and 5 milliseconds in length. ... A second peak is around 45
+  milliseconds, which is related to the PCR time-slice period."
+* Cedar: "Between 20% and 50% of the total execution time during any
+  period is accumulated by threads running for periods of 45 to 50
+  milliseconds."
+* GVX: "between 50% and 70% of all execution intervals are between 0 and
+  5 milliseconds ... Between 30% and 80% of the total execution time ...
+  is accumulated by threads running for periods of 45 to 50 ms."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.simtime import msec
+
+#: Histogram bucket edges in µs (upper bounds; last bucket is open).
+DEFAULT_EDGES = [
+    msec(1), msec(2), msec(3), msec(5), msec(10), msec(20),
+    msec(30), msec(40), msec(45), msec(50), msec(60),
+]
+
+
+@dataclass
+class IntervalSummary:
+    count: int
+    total_time: int
+    short_fraction: float        # intervals in 0-5 ms, by count (F1)
+    quantum_time_share: float    # execution time in quantum-length intervals (F2)
+    histogram: list[tuple[str, int]]
+
+
+def summarise(intervals: list[int], edges: list[int] | None = None) -> IntervalSummary:
+    """Compute the F1/F2 statistics for a list of interval durations."""
+    edges = edges if edges is not None else DEFAULT_EDGES
+    total_time = sum(intervals)
+    count = len(intervals)
+    short = sum(1 for d in intervals if d <= msec(5))
+    # The paper's bucket is "45 to 50 milliseconds".  Our rotated slices
+    # start mid-quantum when an equal-priority peer ran first, so a
+    # quantum-limited interval can be 40-50 ms; we widen the bucket
+    # accordingly (recorded as a deviation in EXPERIMENTS.md).
+    quantum_time = sum(d for d in intervals if msec(40) <= d <= msec(50))
+    histogram = bucketise(intervals, edges)
+    return IntervalSummary(
+        count=count,
+        total_time=total_time,
+        short_fraction=short / count if count else 0.0,
+        quantum_time_share=quantum_time / total_time if total_time else 0.0,
+        histogram=histogram,
+    )
+
+
+def bucketise(intervals: list[int], edges: list[int]) -> list[tuple[str, int]]:
+    """Counts per bucket; labels are in milliseconds for readability."""
+    counts = [0] * (len(edges) + 1)
+    for duration in intervals:
+        for index, edge in enumerate(edges):
+            if duration <= edge:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+    labels = []
+    low = 0
+    for edge in edges:
+        labels.append(f"{low / 1000:g}-{edge / 1000:g}ms")
+        low = edge
+    labels.append(f">{edges[-1] / 1000:g}ms")
+    return list(zip(labels, counts))
+
+
+def has_bimodal_shape(intervals: list[int]) -> bool:
+    """True when the distribution shows the paper's two peaks: mass in
+    the 0-5 ms region and a distinct cluster in 40-50 ms."""
+    if not intervals:
+        return False
+    short = sum(1 for d in intervals if d <= msec(5))
+    quantum_like = sum(1 for d in intervals if msec(40) <= d <= msec(50))
+    middle = sum(1 for d in intervals if msec(20) < d < msec(40))
+    return short > quantum_like > 0 and quantum_like >= middle

@@ -1,0 +1,54 @@
+"""Priority-usage analysis (F4).
+
+Section 3's observations, reproduced by the priority-usage bench:
+
+* "of the 7 available priority levels one wasn't used at all";
+* "user interface activity tended to use higher priorities for its
+  threads than did user-initiated tasks such as compiling";
+* Cedar: long-lived threads "relatively evenly distributed over the four
+  'standard' priority values of 1 to 4"; level 7 for interrupt handling,
+  level 5 unused, level 6 for the SystemDaemon and GC daemon;
+* GVX: "almost all of its threads [at] priority level 3"; level 5 used
+  and 7 unused (the opposite of Cedar); level 6 for the daemon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.config import MAX_PRIORITY, MIN_PRIORITY
+from repro.kernel.stats import ThreadRecord
+
+
+@dataclass
+class PriorityReport:
+    #: CPU µs accumulated at each priority level.
+    cpu_by_priority: dict[int, int]
+    #: thread-creation counts per priority level.
+    threads_by_priority: dict[int, int]
+    unused_levels: list[int]
+    busiest_level: int
+
+
+def analyse(
+    cpu_by_priority: dict[int, int],
+    thread_log: list[ThreadRecord],
+) -> PriorityReport:
+    threads_by_priority = {
+        p: 0 for p in range(MIN_PRIORITY, MAX_PRIORITY + 1)
+    }
+    for record in thread_log:
+        threads_by_priority[record.priority] += 1
+    unused = [
+        level
+        for level in range(MIN_PRIORITY, MAX_PRIORITY + 1)
+        if cpu_by_priority.get(level, 0) == 0
+        and threads_by_priority[level] == 0
+    ]
+    busiest = max(cpu_by_priority, key=lambda p: cpu_by_priority[p])
+    return PriorityReport(
+        cpu_by_priority=dict(cpu_by_priority),
+        threads_by_priority=threads_by_priority,
+        unused_levels=unused,
+        busiest_level=busiest,
+    )

@@ -1,0 +1,64 @@
+"""Report formatting: paper-vs-measured tables for the bench harness.
+
+Every benchmark prints its table through these helpers, so the
+regenerated rows look the same everywhere: a column of published values,
+a column of measured values, and a ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> str:
+    """A plain-text table with aligned columns."""
+    widths = [len(str(h)) for h in headers]
+    rendered_rows = []
+    for row in rows:
+        rendered = [_fmt(cell) for cell in row]
+        rendered_rows.append(rendered)
+        for index, cell in enumerate(rendered):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for rendered in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(rendered, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def ratio(measured: float, paper: float) -> str:
+    """measured/paper as a compact ratio string ("-" when undefined)."""
+    if paper == 0:
+        return "-" if measured == 0 else "inf"
+    return f"{measured / paper:.2f}x"
+
+
+def within_band(measured: float, low: float, high: float) -> bool:
+    return low <= measured <= high
+
+
+def shape_holds(measured: float, paper: float, tolerance: float) -> bool:
+    """True when measured is within ``tolerance`` (relative) of paper.
+
+    Zero targets require zero measurements (the GVX never-forks rows).
+    """
+    if paper == 0:
+        return measured == 0
+    return abs(measured - paper) / paper <= tolerance

@@ -1,0 +1,18 @@
+"""The engineering-lesson experiments of paper Sections 5 and 6.
+
+Each module builds one experiment and returns a small result record;
+``tests/`` asserts the qualitative shape and ``benchmarks/`` prints the
+paper-vs-measured comparison.
+
+| Module          | Paper claim reproduced                                   |
+|-----------------|----------------------------------------------------------|
+| echo_pipeline   | the keystroke-echo critical path (shared substrate)      |
+| ybntm           | §5.2: YieldButNotToMe ≈ 3x perceived improvement         |
+| quantum         | §6.3: the scheduler quantum clocks the slack process     |
+| spurious        | §6.1: spurious lock conflicts; deferred-NOTIFY fix       |
+| inversion       | §6.2: stable priority inversion; SystemDaemon workaround |
+| wait_bugs       | §5.3: IF-vs-WHILE WAIT; timeouts masking missing NOTIFYs |
+| fork_failure    | §5.4: FORK failure policies                              |
+| weakmem         | §5.5: weak ordering breaks publication and init-once     |
+| xclients        | §5.6: modified Xlib vs Xl                                |
+"""

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Each command regenerates one of the paper's artifacts and prints the
+paper-vs-measured comparison — the same code paths the benchmarks use,
+packaged for interactive exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+
+def _cmd_tables(args: argparse.Namespace) -> None:
+    from repro.analysis import dynamic
+    from repro.analysis.report import format_table
+
+    systems = [args.system] if args.system else ["Cedar", "GVX"]
+    for system in systems:
+        results = dynamic.measure_all(system, seed=args.seed)
+        rows = []
+        for result in results:
+            paper = dynamic.paper_row(system, result.activity)
+            rows.append(
+                [
+                    result.activity,
+                    f"{paper.forks_per_sec:g}/{result.forks_per_sec:.1f}",
+                    f"{paper.switches_per_sec:g}/{result.switches_per_sec:.0f}",
+                    f"{paper.waits_per_sec:g}/{result.waits_per_sec:.0f}",
+                    f"{100 * paper.timeout_fraction:.0f}/{100 * result.timeout_fraction:.0f}",
+                    f"{paper.ml_enters_per_sec:g}/{result.ml_enters_per_sec:.0f}",
+                    f"{paper.distinct_cvs}/{result.distinct_cvs}",
+                    f"{paper.distinct_mls}/{result.distinct_mls}",
+                ]
+            )
+        print(
+            format_table(
+                f"{system}: Tables 1-3 (paper/measured)",
+                ["activity", "forks/s", "switch/s", "waits/s", "tmo%",
+                 "ML/s", "#CVs", "#MLs"],
+                rows,
+            )
+        )
+        print()
+
+
+def _cmd_census(args: argparse.Namespace) -> None:
+    from repro.analysis.classifier import accuracy, census
+    from repro.analysis.report import format_table
+    from repro.corpus import cedar_corpus, gvx_corpus
+    from repro.corpus.model import PAPER_TABLE4, PARADIGMS
+
+    for name, corpus in (
+        ("Cedar", cedar_corpus(args.seed)), ("GVX", gvx_corpus(args.seed))
+    ):
+        result = census(corpus, name)
+        rows = [
+            [paradigm, PAPER_TABLE4[name][paradigm], result.counts[paradigm]]
+            for paradigm in PARADIGMS
+        ]
+        print(
+            format_table(
+                f"Table 4 ({name}), accuracy {accuracy(corpus):.1%}",
+                ["paradigm", "paper", "recovered"],
+                rows,
+            )
+        )
+        print()
+
+
+def _cmd_ybntm(args: argparse.Namespace) -> None:
+    from repro.casestudies.ybntm import run_comparison
+
+    comparison = run_comparison(seed=args.seed)
+    plain, fixed = comparison.plain_yield, comparison.ybntm
+    print("plain YIELD     :", plain.flushes, "flushes, batch",
+          f"{plain.mean_batch:.1f}, server {plain.server_busy / 1000:.1f} ms")
+    print("YieldButNotToMe :", fixed.flushes, "flushes, batch",
+          f"{fixed.mean_batch:.1f}, server {fixed.server_busy / 1000:.1f} ms")
+    print(f"server-work reduction: {comparison.server_work_reduction:.2f}x "
+          "(paper: 'about a three-fold performance improvement')")
+
+
+def _cmd_quantum(args: argparse.Namespace) -> None:
+    from repro.casestudies.quantum import sweep_quantum
+
+    for strategy in ("ybntm", "sleep"):
+        sweep = sweep_quantum(strategy, seed=args.seed)
+        print(f"strategy={strategy}")
+        for quantum, result in sweep.results.items():
+            print(f"  quantum {quantum / 1000:>6g} ms: "
+                  f"echo {result.mean_latency / 1000:>6.1f} ms, "
+                  f"batch {result.mean_batch:.2f}, "
+                  f"{result.flushes} flushes")
+
+
+def _cmd_spurious(args: argparse.Namespace) -> None:
+    from repro.casestudies.spurious import run_comparison
+
+    for semantics, result in run_comparison(seed=args.seed).items():
+        print(f"{semantics:<10} spurious={result.spurious_conflicts:<4} "
+              f"switches={result.switches}")
+
+
+def _cmd_inversion(args: argparse.Namespace) -> None:
+    from repro.casestudies.inversion import run_all_variants
+
+    for variant, result in run_all_variants(seed=args.seed).items():
+        outcome = (
+            "starved" if result.blocked_for is None
+            else f"unblocked after {result.blocked_for / 1000:.0f} ms"
+        )
+        print(f"{variant:<20} {outcome}")
+
+
+def _cmd_xclients(args: argparse.Namespace) -> None:
+    from repro.casestudies.xclients import run_comparison
+
+    for library, result in run_comparison(seed=args.seed).items():
+        print(f"{library:<6} flushes={result.flushes:<3} "
+              f"shipped={result.requests_shipped:<3} "
+              f"contention-blocks={result.lock_contention_blocks:<3} "
+              f"painted-at={result.painting_done_at / 1000:.0f}ms")
+
+
+def _cmd_weakmem(args: argparse.Namespace) -> None:
+    from repro.casestudies.weakmem import run_init_once, run_publication
+
+    for order, monitored in (("strong", False), ("weak", False), ("weak", True)):
+        result = run_publication(memory_order=order, monitored=monitored,
+                                 seed=args.seed)
+        label = f"{order}{'+monitor' if monitored else ''}"
+        print(f"publication {label:<14} torn reads: {result.torn_reads}/50")
+    weak = sum(run_init_once(memory_order="weak", seed=s).saw_uninitialised
+               for s in range(20))
+    print(f"init-once under weak ordering: hazard in {weak}/20 seeds")
+
+
+def _cmd_adaptive(args: argparse.Namespace) -> None:
+    from repro.extensions.adaptive_timeout import run_generations
+
+    for generation, pair in run_generations().items():
+        for policy, result in pair.items():
+            detect = (result.crash_detection_time or 0) / 1000
+            print(f"{generation:<9} {policy:<9} "
+                  f"spurious={result.spurious_timeouts:<3} "
+                  f"crash-detect={detect:.0f}ms "
+                  f"final-timeout={result.final_timeout / 1000:.0f}ms")
+
+
+def _cmd_fairshare(args: argparse.Namespace) -> None:
+    from repro.extensions.fair_share import run_tradeoff
+
+    for policy, stats in run_tradeoff().items():
+        acquired = stats["inversion_acquired_at"]
+        inversion = ("starved" if acquired is None
+                     else f"{acquired / 1000:.0f} ms")
+        print(f"{policy:<11} inversion={inversion:<10} "
+              f"echo mean={stats['echo_mean'] / 1000:.2f} ms "
+              f"max={stats['echo_max'] / 1000:.2f} ms")
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    """Run an idle Cedar world with tracing on and export artifacts."""
+    from repro.analysis.chrome_trace import write_chrome_trace
+    from repro.analysis.timeline import render_history
+    from repro.kernel.config import KernelConfig
+    from repro.kernel.simtime import msec, sec
+    from repro.workloads.cedar import build_cedar_world
+
+    config = KernelConfig(seed=args.seed, trace=True)
+    world, _context = build_cedar_world(config)
+    world.run_for(sec(2))
+    print(render_history(world.kernel.tracer, start=sec(1),
+                         end=sec(1) + msec(100)))
+    if args.output:
+        count = write_chrome_trace(world.kernel.tracer, args.output)
+        print(f"\nwrote {count} Chrome trace events to {args.output} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+    world.shutdown()
+
+
+_COMMANDS: dict[str, tuple[Callable, str]] = {
+    "tables": (_cmd_tables, "regenerate Tables 1-3 (dynamic statistics)"),
+    "census": (_cmd_census, "regenerate Table 4 (static paradigm census)"),
+    "ybntm": (_cmd_ybntm, "the §5.2 YieldButNotToMe case study"),
+    "quantum": (_cmd_quantum, "the §6.3 scheduler-quantum sweep"),
+    "spurious": (_cmd_spurious, "the §6.1 spurious-lock-conflict study"),
+    "inversion": (_cmd_inversion, "the §6.2 priority-inversion study"),
+    "xclients": (_cmd_xclients, "the §5.6 Xlib-vs-Xl comparison"),
+    "weakmem": (_cmd_weakmem, "the §5.5 weak-memory hazards"),
+    "adaptive": (_cmd_adaptive, "future work: adaptive timeouts"),
+    "fairshare": (_cmd_fairshare, "future work: fair-share scheduling"),
+    "trace": (_cmd_trace, "render a 100 ms event history; optionally "
+                          "export a Chrome trace JSON"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Using Threads in Interactive Systems: "
+            "A Case Study' (SOSP 1993)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulation seed (default 0)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, (_handler, help_text) in _COMMANDS.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        if name == "tables":
+            sub.add_argument("system", nargs="?", choices=["Cedar", "GVX"],
+                             help="limit to one system")
+        if name == "trace":
+            sub.add_argument("output", nargs="?",
+                             help="Chrome trace JSON output path")
+    args = parser.parse_args(argv)
+    handler, _help = _COMMANDS[args.command]
+    handler(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

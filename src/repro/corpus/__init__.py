@@ -1,0 +1,24 @@
+"""The static-census corpus (Table 4).
+
+The paper's authors "used grep to locate all uses of thread primitives
+and then read the surrounding code", examining "about 650 different code
+fragments that create threads" across Cedar and GVX.  We reproduce the
+census methodology on a synthetic corpus: :mod:`generator` produces
+Mesa-flavoured code fragments from per-paradigm templates (with
+ground-truth labels), :mod:`repro.analysis.classifier` plays the role of
+the reading researcher, and the Table 4 bench compares the recovered
+distribution against both the ground truth and the published counts.
+"""
+
+from repro.corpus.cedar import cedar_corpus
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.gvx import gvx_corpus
+from repro.corpus.model import PARADIGMS, CodeFragment
+
+__all__ = [
+    "CodeFragment",
+    "CorpusGenerator",
+    "PARADIGMS",
+    "cedar_corpus",
+    "gvx_corpus",
+]

@@ -1,0 +1,12 @@
+"""The Cedar census corpus: 348 fragments, Table 4's left column."""
+
+from __future__ import annotations
+
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.model import PAPER_TABLE4, CodeFragment
+
+
+def cedar_corpus(seed: int = 0) -> list[CodeFragment]:
+    """Generate the Cedar corpus with Table 4's ground-truth distribution."""
+    generator = CorpusGenerator("Cedar", seed)
+    return generator.generate(PAPER_TABLE4["Cedar"])

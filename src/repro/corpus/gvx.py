@@ -1,0 +1,17 @@
+"""The GVX census corpus: 234 fragments, Table 4's right column.
+
+The large "unknown" share is faithful to the paper: "The large number of
+unknown uses in GVX is due to our relative unfamiliarity with this code,
+rather than reflecting any significant difference in paradigm use."
+"""
+
+from __future__ import annotations
+
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.model import PAPER_TABLE4, CodeFragment
+
+
+def gvx_corpus(seed: int = 0) -> list[CodeFragment]:
+    """Generate the GVX corpus with Table 4's ground-truth distribution."""
+    generator = CorpusGenerator("GVX", seed)
+    return generator.generate(PAPER_TABLE4["GVX"])

@@ -1,0 +1,13 @@
+"""Beyond the paper: its own future-work suggestions, made runnable.
+
+* :mod:`adaptive_timeout` — §5.5: "dynamically tuning application
+  timeout values based on end-to-end system performance may be a
+  workable solution";
+* :mod:`fair_share` — §7: "another area of future work is to explore the
+  work from the real-time scheduling community ...  Both strict priority
+  scheduling and fair-share priority scheduling seem to complicate rather
+  than ease the programming of highly reactive systems" — an experiment
+  quantifying that trade-off on this kernel;
+* the priority-inheritance ablation lives in
+  :mod:`repro.casestudies.inversion` (``inheritance=True``).
+"""

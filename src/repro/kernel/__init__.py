@@ -1,0 +1,62 @@
+"""The simulated PCR: a deterministic discrete-event thread kernel.
+
+Public surface::
+
+    from repro.kernel import Kernel, KernelConfig
+    from repro.kernel import primitives as p
+    from repro.kernel.simtime import usec, msec, sec
+
+    def main():
+        yield p.Compute(usec(100))
+        return 42
+
+    kernel = Kernel(KernelConfig(seed=1))
+    thread = kernel.fork_root(main)
+    kernel.run_for(sec(1))
+    assert thread.result == 42
+"""
+
+from repro.kernel.channel import Channel
+from repro.kernel.config import (
+    DEFAULT_PRIORITY,
+    MAX_PRIORITY,
+    MIN_PRIORITY,
+    KernelConfig,
+)
+from repro.kernel.errors import (
+    Deadlock,
+    ForkFailed,
+    JoinProtocolError,
+    KernelError,
+    KernelUsageError,
+    MonitorProtocolError,
+    SimThreadError,
+    UncaughtThreadError,
+)
+from repro.kernel.kernel import Kernel
+from repro.kernel.memory import SimVar
+from repro.kernel.simtime import msec, sec, usec
+from repro.kernel.thread import SimThread, ThreadState
+
+__all__ = [
+    "Channel",
+    "DEFAULT_PRIORITY",
+    "Deadlock",
+    "ForkFailed",
+    "JoinProtocolError",
+    "Kernel",
+    "KernelConfig",
+    "KernelError",
+    "KernelUsageError",
+    "MAX_PRIORITY",
+    "MIN_PRIORITY",
+    "MonitorProtocolError",
+    "SimThread",
+    "SimThreadError",
+    "SimVar",
+    "ThreadState",
+    "UncaughtThreadError",
+    "msec",
+    "sec",
+    "usec",
+]

@@ -1,0 +1,116 @@
+"""Kernel configuration.
+
+Every policy knob the paper discusses is explicit here so experiments can
+flip exactly one variable:
+
+* ``quantum`` — the scheduler timeslice *and* timeout granularity.  Section
+  6.3 is entirely about this constant (50 ms in PCR); the quantum-sweep
+  case study re-runs the echo pipeline at 1 ms / 20 ms / 50 ms / 1 s.
+* ``notify_semantics`` — ``"deferred"`` is the paper's fix (defer processor
+  rescheduling until monitor exit); ``"immediate"`` reproduces the spurious
+  lock conflicts of Section 6.1.
+* ``notify_wakes`` — ``"exactly_one"`` is Mesa/PCR; ``"at_least_one"``
+  emulates thread packages with weaker NOTIFY (Birrell), used by property
+  tests to show WAIT-in-a-loop code is insensitive to the difference.
+* ``fork_failure`` — ``"raise"`` (the old systems) vs ``"wait"`` (the newer
+  ones), Section 5.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.simtime import msec, usec
+
+PRIORITY_LEVELS = 7
+MIN_PRIORITY = 1
+MAX_PRIORITY = 7
+#: Paper: "There are 7 priorities in all, with the default being the middle
+#: priority (4)."
+DEFAULT_PRIORITY = 4
+
+NOTIFY_DEFERRED = "deferred"
+NOTIFY_IMMEDIATE = "immediate"
+
+WAKES_EXACTLY_ONE = "exactly_one"
+WAKES_AT_LEAST_ONE = "at_least_one"
+
+FORK_FAILURE_RAISE = "raise"
+FORK_FAILURE_WAIT = "wait"
+
+MEMORY_STRONG = "strong"
+MEMORY_WEAK = "weak"
+
+SCHED_STRICT = "strict"
+SCHED_FAIR_SHARE = "fair_share"
+
+
+@dataclass
+class KernelConfig:
+    """Tunable policies of the simulated PCR kernel."""
+
+    #: Timeslice length and CV-timeout granularity (PCR: 50 ms).
+    quantum: int = msec(50)
+    #: Cost of switching between threads (paper: < 50 µs on a SS-2).
+    switch_cost: int = usec(40)
+    #: Cost charged on every monitor entry/exit (lock bookkeeping).
+    monitor_overhead: int = usec(1)
+    #: Number of simulated processors.
+    ncpus: int = 1
+    #: Seed for all kernel randomness (SystemDaemon choice, jitter).
+    seed: int = 0
+    #: NOTIFY rescheduling: "deferred" (the fix) or "immediate" (pre-fix).
+    notify_semantics: str = NOTIFY_DEFERRED
+    #: NOTIFY wake count: "exactly_one" (Mesa) or "at_least_one" (Birrell).
+    notify_wakes: str = WAKES_EXACTLY_ONE
+    #: Probability that an at-least-one NOTIFY wakes an extra waiter.
+    at_least_one_extra_prob: float = 0.25
+    #: Maximum number of live threads before FORK runs out of resources.
+    max_threads: int = 10_000
+    #: What FORK does when out of resources: "raise" (old) or "wait" (new).
+    fork_failure: str = FORK_FAILURE_WAIT
+    #: Ablation beyond the paper: donate the blocker's priority to a
+    #: monitor's owner (full priority inheritance).  PCR deliberately did
+    #: NOT do this for monitors — "we don't know how to implement it
+    #: efficiently" — only for the per-monitor metalock; the inversion
+    #: case study measures what they gave up.
+    monitor_priority_inheritance: bool = False
+    #: Virtual memory reserved per thread stack (paper: 100 kilobytes).
+    stack_reservation: int = 100 * 1024
+    #: Scheduling policy.  "strict" is PCR's model (the paper's default);
+    #: "fair_share" is the Section 7 future-work exploration: threads
+    #: progress at rates proportional to 2^(priority-1) via deterministic
+    #: lottery, with no priority preemption — "a model intuitively better
+    #: suited to controlling long-term average behavior than to
+    #: controlling moment-by-moment processor allocation".
+    scheduler_policy: str = SCHED_STRICT
+    #: Memory model for SimVar/SimRecord: "strong" or "weak" (Section 5.5).
+    memory_order: str = MEMORY_STRONG
+    #: Store-buffer flush latency under weak ordering.
+    store_buffer_delay: int = usec(5)
+    #: Re-raise a thread's uncaught exception at end of run.
+    propagate_thread_errors: bool = True
+    #: Record a full event trace (costs memory; stats are always kept).
+    trace: bool = False
+    #: Categories to trace when ``trace`` is on; empty set = all.
+    trace_categories: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.quantum <= 0:
+            raise ValueError("quantum must be positive")
+        if self.ncpus < 1:
+            raise ValueError("ncpus must be >= 1")
+        if self.notify_semantics not in (NOTIFY_DEFERRED, NOTIFY_IMMEDIATE):
+            raise ValueError(f"bad notify_semantics: {self.notify_semantics!r}")
+        if self.notify_wakes not in (WAKES_EXACTLY_ONE, WAKES_AT_LEAST_ONE):
+            raise ValueError(f"bad notify_wakes: {self.notify_wakes!r}")
+        if self.fork_failure not in (FORK_FAILURE_RAISE, FORK_FAILURE_WAIT):
+            raise ValueError(f"bad fork_failure: {self.fork_failure!r}")
+        if self.memory_order not in (MEMORY_STRONG, MEMORY_WEAK):
+            raise ValueError(f"bad memory_order: {self.memory_order!r}")
+        if self.scheduler_policy not in (SCHED_STRICT, SCHED_FAIR_SHARE):
+            raise ValueError(f"bad scheduler_policy: {self.scheduler_policy!r}")
+        if self.switch_cost < 0 or self.monitor_overhead < 0:
+            raise ValueError("costs must be non-negative")
+        if not 0.0 <= self.at_least_one_extra_prob <= 1.0:
+            raise ValueError("at_least_one_extra_prob must be in [0, 1]")

@@ -1,0 +1,64 @@
+"""Kernel exception hierarchy.
+
+Two families:
+
+* errors raised *into* simulated threads (they subclass ``SimThreadError``
+  and can be caught by thread code — e.g. a failed FORK under the "raise"
+  policy, mirroring Section 5.4 of the paper);
+* errors that indicate a bug in the caller's use of the kernel API
+  (``KernelUsageError``) — e.g. waiting on a condition variable without
+  holding its monitor, which the Mesa compiler statically prevented and we
+  check dynamically.
+"""
+
+from __future__ import annotations
+
+
+class KernelError(Exception):
+    """Base class for everything raised by the simulated kernel."""
+
+
+class KernelUsageError(KernelError):
+    """The host program misused the kernel API (a bug in the caller)."""
+
+
+class MonitorProtocolError(KernelUsageError):
+    """A monitor/CV invariant was violated.
+
+    Examples: exiting a monitor the thread does not hold, WAITing on a CV
+    whose monitor is not held, re-entering a non-reentrant monitor.
+    """
+
+
+class JoinProtocolError(KernelUsageError):
+    """JOIN misuse: joining twice, joining a detached thread, self-join."""
+
+
+class SimThreadError(KernelError):
+    """Base class for errors raised inside simulated threads."""
+
+
+class ForkFailed(SimThreadError):
+    """FORK failed for lack of resources (Section 5.4, "raise" policy)."""
+
+
+class Deadlock(KernelError):
+    """The simulation cannot make progress.
+
+    Raised by ``Kernel.run`` when threads exist but none are runnable and no
+    timed event will ever wake one.  The message carries a per-thread
+    diagnosis of what each thread is blocked on.
+    """
+
+
+class UncaughtThreadError(KernelError):
+    """A simulated thread died from an exception and was not rejuvenated.
+
+    Stored on the thread; re-raised at JOIN, or at end-of-run if the kernel
+    is configured with ``propagate_thread_errors=True``.
+    """
+
+    def __init__(self, thread_name: str, original: BaseException) -> None:
+        super().__init__(f"thread {thread_name!r} died: {original!r}")
+        self.thread_name = thread_name
+        self.original = original

@@ -1,0 +1,147 @@
+"""Simulated shared memory with selectable ordering (Section 5.5).
+
+"We saw several places where the correctness of threaded code depended on
+strong memory ordering, an assumption no longer true in some modern
+multiprocessors with weakly ordered memory."
+
+The model is a per-CPU store buffer, the minimal machine on which the
+paper's two examples break:
+
+* a writer constructs a record and publishes a pointer to it; under weak
+  ordering a reader on another CPU can follow the pointer before the
+  record's fields are visible;
+* Birrell's call-initialiser-exactly-once hint: a thread "can both believe
+  that the initializer has already been called and not yet be able to see
+  the initialized data".
+
+Mechanics: a store by a thread on CPU *i* is immediately visible to CPU
+*i* but becomes visible to other CPUs only after ``store_buffer_delay``
+microseconds — unless a fence drains the buffer first.  Monitor entry and
+exit fence implicitly ("The monitor implementation for weak ordering can
+use memory barrier instructions"), which is why monitor-protected data is
+always safe.  Under ``memory_order="strong"`` every store is globally
+visible at once and fences are no-ops.
+
+Thread code uses memory through the ``MemRead``/``MemWrite``/``Fence``
+traps (or the ``SimVar`` convenience wrappers), never by mutating Python
+objects directly — direct mutation would silently get strong ordering.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.kernel.config import MEMORY_WEAK, KernelConfig
+
+_uid_counter = itertools.count(1)
+
+
+class SimVar:
+    """One shared memory cell.
+
+    ``committed`` holds the globally visible value; ``pending`` holds
+    in-flight stores as ``(visible_at, cpu_index, value)`` tuples in
+    program order.
+    """
+
+    __slots__ = ("uid", "name", "committed", "pending")
+
+    def __init__(self, name: str, initial: Any = None) -> None:
+        self.uid = next(_uid_counter)
+        self.name = name
+        self.committed = initial
+        self.pending: list[tuple[int, int, Any]] = []
+
+    def __repr__(self) -> str:
+        return f"<SimVar {self.name!r}={self.committed!r} pending={len(self.pending)}>"
+
+
+class MemorySystem:
+    """Applies the configured ordering to SimVar loads and stores.
+
+    Weak ordering here is genuinely weak, not TSO: each store's
+    visibility delay is drawn (deterministically) from ``[1, delay]``, so
+    two stores by the same CPU to *different* variables can become
+    globally visible out of program order — the reordering behind both
+    §5.5 examples.  Per-variable coherence is preserved: once a later
+    store to a variable is visible, earlier ones can never resurface.
+    """
+
+    def __init__(self, config: KernelConfig, rng: Any) -> None:
+        self.weak = config.memory_order == MEMORY_WEAK
+        self._delay = max(1, config.store_buffer_delay)
+        self._rng = rng
+        self.fences = 0
+        self.stores = 0
+        self.loads = 0
+        #: Loads that observed a value another CPU had already overwritten
+        #: (i.e. a stale read) — the §5.5 hazard counter.
+        self.stale_loads = 0
+
+    def store(self, var: SimVar, value: Any, cpu_index: int, now: int) -> None:
+        self.stores += 1
+        if not self.weak:
+            var.committed = value
+            return
+        self._drain_visible(var, now)
+        delay = self._rng.randint(1, self._delay)
+        var.pending.append((now + delay, cpu_index, value))
+
+    def load(self, var: SimVar, cpu_index: int, now: int) -> Any:
+        self.loads += 1
+        if not self.weak:
+            return var.committed
+        self._drain_visible(var, now)
+        # Store-to-load forwarding: this CPU sees its own latest store.
+        newest_here = None
+        newest_anywhere = False
+        for _visible_at, writer_cpu, value in reversed(var.pending):
+            newest_anywhere = True
+            if writer_cpu == cpu_index:
+                newest_here = (value,)
+                break
+        if newest_here is not None:
+            return newest_here[0]
+        if newest_anywhere:
+            # Another CPU has a newer in-flight value we cannot see yet.
+            self.stale_loads += 1
+        return var.committed
+
+    def fence_cpu(self, cpu_index: int, vars_touched: list[SimVar] | None = None) -> None:
+        """Drain this CPU's store buffer: its stores become visible now.
+
+        With no var list we cannot enumerate all SimVars, so SimVar keeps
+        pending stores and the kernel passes the registry of fenced vars;
+        in practice the kernel registers every SimVar it has seen.
+        """
+        self.fences += 1
+        if not self.weak or vars_touched is None:
+            return
+        for var in vars_touched:
+            last_mine = -1
+            for index, (_visible_at, writer_cpu, _value) in enumerate(var.pending):
+                if writer_cpu == cpu_index:
+                    last_mine = index
+            if last_mine >= 0:
+                # Committing our newest store supersedes everything older,
+                # whoever wrote it (coherence).
+                var.committed = var.pending[last_mine][2]
+                var.pending = var.pending[last_mine + 1:]
+
+    def _drain_visible(self, var: SimVar, now: int) -> None:
+        """Commit up to the latest program-order store now visible.
+
+        Coherence: committing a store kills every earlier pending store
+        to the same variable, visible or not — an old value must never
+        overwrite a newer one.
+        """
+        if not var.pending:
+            return
+        last_visible = -1
+        for index, (visible_at, _writer_cpu, _value) in enumerate(var.pending):
+            if visible_at <= now:
+                last_visible = index
+        if last_visible >= 0:
+            var.committed = var.pending[last_visible][2]
+            var.pending = var.pending[last_visible + 1:]

@@ -1,0 +1,208 @@
+"""The PCR scheduler model.
+
+Policy, per Section 2 of the paper:
+
+* "The scheduler runs the highest priority runnable thread and if there are
+  several runnable threads at the highest priority then round-robin is used
+  among them."
+* "If a system event causes a higher priority thread to become runnable,
+  the scheduler will preempt the currently running thread, even if it holds
+  monitor locks."
+* 7 priority levels; timeslice 50 ms (the quantum lives in KernelConfig).
+
+Plus the two deliberate violations of strict priority that Sections 5.2 and
+6.2 describe, both modelled as *donations*:
+
+* ``YieldButNotToMe`` donates the caller's CPU to the highest-priority
+  *other* ready thread until the end of the timeslice;
+* the SystemDaemon's directed yield donates a slice to a specific (possibly
+  low-priority) thread.
+
+A donation is per-CPU state: while active, that CPU dispatches the donee in
+preference to strict priority order.  Ticks clear donations ("The end of a
+timeslice ends the effect of a YieldButNotToMe or a directed yield",
+Section 6.3), as does the donee blocking.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.kernel.config import MAX_PRIORITY, MIN_PRIORITY
+from repro.kernel.thread import SimThread, ThreadState
+
+
+class Cpu:
+    """One simulated processor."""
+
+    __slots__ = (
+        "index",
+        "current",
+        "busy_until",
+        "burst_start",
+        "last_thread",
+        "donee",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        #: Thread currently running here, or None when idle.
+        self.current: SimThread | None = None
+        #: Absolute sim time at which the current compute burst finishes
+        #: (only meaningful while ``current`` has pending_compute).
+        self.busy_until: int | None = None
+        #: When the current burst began (partial-burst accounting).
+        self.burst_start: int | None = None
+        #: Thread that last ran here (switch-cost accounting).
+        self.last_thread: SimThread | None = None
+        #: Active donation target for this CPU, or None.
+        self.donee: SimThread | None = None
+
+    def __repr__(self) -> str:
+        running = self.current.name if self.current else "idle"
+        return f"<Cpu {self.index} {running}>"
+
+
+class Scheduler:
+    """Ready queues and dispatch policy.
+
+    ``policy`` selects between PCR's strict priorities and the Section 7
+    fair-share exploration (deterministic lottery, tickets doubling per
+    level, no priority preemption).  ``rng`` is only consulted under
+    fair share, so strict-policy runs stay byte-identical to before the
+    policy knob existed.
+    """
+
+    def __init__(self, ncpus: int, *, policy: str = "strict", rng=None) -> None:
+        self._queues: dict[int, deque[SimThread]] = {
+            prio: deque() for prio in range(MIN_PRIORITY, MAX_PRIORITY + 1)
+        }
+        self.cpus = [Cpu(i) for i in range(ncpus)]
+        self.policy = policy
+        self.rng = rng
+
+    # -- ready-queue management ------------------------------------------
+
+    def make_ready(self, thread: SimThread, *, front: bool = False) -> None:
+        """Put a thread on its priority's ready queue.
+
+        ``front=True`` is used for preempted threads, which did not finish
+        their slice and so keep their place in the round-robin order.
+        """
+        if thread.state is ThreadState.READY:
+            raise AssertionError(f"{thread!r} already ready")
+        thread.state = ThreadState.READY
+        thread.blocked_on = None
+        queue = self._queues[thread.priority]
+        if front:
+            queue.appendleft(thread)
+        else:
+            queue.append(thread)
+
+    def unready(self, thread: SimThread) -> None:
+        """Remove a thread from the ready queues (e.g. external kill)."""
+        queue = self._queues[thread.priority]
+        try:
+            queue.remove(thread)
+        except ValueError:
+            raise AssertionError(f"{thread!r} not on ready queue") from None
+
+    def requeue_for_priority_change(
+        self, thread: SimThread, new_priority: int
+    ) -> None:
+        """Move a READY thread between queues when its priority changes."""
+        self.unready(thread)
+        thread.priority = new_priority
+        self._queues[new_priority].append(thread)  # state stays READY
+
+    # -- queries -----------------------------------------------------------
+
+    def highest_ready_priority(self) -> int | None:
+        """Priority of the best ready thread, or None if none ready."""
+        for prio in range(MAX_PRIORITY, MIN_PRIORITY - 1, -1):
+            if self._queues[prio]:
+                return prio
+        return None
+
+    def ready_count(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def ready_threads(self) -> list[SimThread]:
+        """All ready threads, best priority first (round-robin order
+        within a level).  Used by the SystemDaemon's random choice."""
+        threads: list[SimThread] = []
+        for prio in range(MAX_PRIORITY, MIN_PRIORITY - 1, -1):
+            threads.extend(self._queues[prio])
+        return threads
+
+    def would_preempt(self, running_priority: int) -> bool:
+        """True if a ready thread should preempt a runner at this priority.
+
+        Strict priority: only a *strictly* higher priority preempts.
+        Fair share never preempts on priority — CPU shares are settled at
+        quantum boundaries, which is exactly why the paper judges it
+        ill-suited to "moment-by-moment" near-real-time response.
+        """
+        if self.policy == "fair_share":
+            return False
+        best = self.highest_ready_priority()
+        return best is not None and best > running_priority
+
+    # -- dispatch ----------------------------------------------------------
+
+    def take_next(self, cpu: Cpu) -> SimThread | None:
+        """Choose and remove the thread this CPU should run next.
+
+        Honours an active donation first, then strict priority order.
+        """
+        if cpu.donee is not None:
+            donee = cpu.donee
+            if donee.state is ThreadState.READY:
+                self._queues[donee.priority].remove(donee)
+                return donee
+            # Donee ran and blocked, or was never ready: donation is spent.
+            cpu.donee = None
+        if self.policy == "fair_share":
+            return self._take_by_lottery()
+        for prio in range(MAX_PRIORITY, MIN_PRIORITY - 1, -1):
+            queue = self._queues[prio]
+            if queue:
+                return queue.popleft()
+        return None
+
+    def _take_by_lottery(self) -> SimThread | None:
+        """Fair share: pick a ready thread with probability proportional
+        to 2^(priority-1) tickets (deterministic seeded lottery)."""
+        ready = self.ready_threads()
+        if not ready:
+            return None
+        if len(ready) == 1 or self.rng is None:
+            winner = ready[0]
+        else:
+            tickets = [1 << (t.priority - 1) for t in ready]
+            draw = self.rng.randint(1, sum(tickets))
+            cumulative = 0
+            winner = ready[-1]
+            for thread, ticket_count in zip(ready, tickets):
+                cumulative += ticket_count
+                if draw <= cumulative:
+                    winner = thread
+                    break
+        self._queues[winner.priority].remove(winner)
+        return winner
+
+    def peek_best_other(self, exclude: SimThread) -> SimThread | None:
+        """The highest-priority ready thread that is not ``exclude``.
+
+        Implements the selection rule of YieldButNotToMe.
+        """
+        for prio in range(MAX_PRIORITY, MIN_PRIORITY - 1, -1):
+            for thread in self._queues[prio]:
+                if thread is not exclude:
+                    return thread
+        return None
+
+    def clear_donations(self) -> None:
+        """Tick boundary: every donation expires."""
+        for cpu in self.cpus:
+            cpu.donee = None

@@ -1,0 +1,47 @@
+"""Simulated time.
+
+All kernel time is an integer number of microseconds. Using integers keeps
+the simulation exactly deterministic: there is no floating-point drift, and
+two events scheduled for the same microsecond compare equal on every
+platform.
+
+The helpers below exist so that workload and test code never writes raw
+magic numbers: ``msec(50)`` reads as the paper's 50 millisecond quantum,
+``usec(40)`` as the sub-50-microsecond thread switch cost.
+"""
+
+from __future__ import annotations
+
+USEC = 1
+MSEC = 1000
+SEC = 1_000_000
+
+#: A sentinel meaning "no deadline" for waits without a timeout.
+FOREVER: int | None = None
+
+
+def usec(n: float) -> int:
+    """Convert microseconds to kernel time (identity, with rounding)."""
+    return round(n * USEC)
+
+
+def msec(n: float) -> int:
+    """Convert milliseconds to kernel time."""
+    return round(n * MSEC)
+
+
+def sec(n: float) -> int:
+    """Convert seconds to kernel time."""
+    return round(n * SEC)
+
+
+def fmt_time(t: int) -> str:
+    """Render a kernel timestamp for traces: ``12.345678s``."""
+    return f"{t / SEC:.6f}s"
+
+
+def per_second(count: int, duration: int) -> float:
+    """A rate in events/second over ``duration`` microseconds of sim time."""
+    if duration <= 0:
+        return 0.0
+    return count * SEC / duration

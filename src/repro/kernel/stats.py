@@ -1,0 +1,172 @@
+"""Aggregate kernel statistics — the numbers behind Tables 1-3.
+
+``GlobalStats`` is updated inline by the kernel (cheap counter bumps) and
+read by ``repro.analysis.dynamic`` to compute the paper's rates:
+
+* Table 1: forks/sec, thread switches/sec
+* Table 2: CV waits/sec, %-of-waits-that-time-out, monitor enters/sec,
+  contention fraction
+* Table 3: number of distinct CVs and monitor locks used
+* F1/F2: execution-interval histogram and execution-time-by-interval share
+* F4: CPU time by priority level
+
+Counters are monotonic; measurements over a window are taken by snapshot
+and subtraction (see :class:`Snapshot`).  The distinct-use sets are the one
+exception — Table 3 counts distinct objects *within* a benchmark, so
+windows capture set sizes before and after and the analysis layer clears
+them at window start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.config import MAX_PRIORITY, MIN_PRIORITY
+
+
+@dataclass(frozen=True)
+class ThreadRecord:
+    """Lightweight per-thread log entry (genealogy analysis, F3)."""
+
+    tid: int
+    name: str
+    parent_tid: int | None
+    generation: int
+    priority: int
+    created_at: int
+    role: str | None
+
+
+class GlobalStats:
+    """Monotonic counters plus distinct-use sets and interval samples."""
+
+    def __init__(self) -> None:
+        self.forks = 0
+        self.fork_failures = 0
+        self.fork_waits = 0
+        self.joins = 0
+        self.switches = 0
+        self.dispatches = 0
+        self.preemptions = 0
+        self.yields = 0
+        self.directed_yields = 0
+        self.ticks = 0
+        self.ml_enters = 0
+        self.ml_contended = 0
+        self.ml_exits = 0
+        self.cv_waits = 0
+        self.cv_timeouts = 0
+        self.cv_notifies = 0
+        self.cv_broadcasts = 0
+        self.cv_wakeups = 0
+        self.spurious_conflicts = 0
+        self.channel_posts = 0
+        self.channel_receives = 0
+        self.threads_created = 0
+        self.threads_finished = 0
+        self.live_threads = 0
+        self.max_live_threads = 0
+        #: Virtual memory currently reserved for thread stacks (Section 5.1).
+        self.stack_bytes = 0
+        self.max_stack_bytes = 0
+
+        #: uids of distinct monitors entered / CVs waited on (Table 3).
+        self.monitors_used: set[int] = set()
+        self.cvs_used: set[int] = set()
+
+        #: (duration_us, priority) per completed execution interval (F1/F2).
+        self.exec_intervals: list[tuple[int, int]] = []
+        #: CPU microseconds accumulated per priority level (F4).
+        self.cpu_by_priority: dict[int, int] = {
+            p: 0 for p in range(MIN_PRIORITY, MAX_PRIORITY + 1)
+        }
+        #: Log of every thread ever created (F3 genealogy).
+        self.thread_log: list[ThreadRecord] = []
+        #: (lifetime_us, role) of finished threads (lifetime analysis, §3).
+        self.lifetimes: list[tuple[int, str | None]] = []
+
+    # -- helpers used by the kernel ---------------------------------------
+
+    def note_interval(self, duration: int, priority: int) -> None:
+        self.exec_intervals.append((duration, priority))
+        self.cpu_by_priority[priority] += duration
+
+    def clear_distinct(self) -> None:
+        """Start a fresh Table-3 window."""
+        self.monitors_used.clear()
+        self.cvs_used.clear()
+
+    def snapshot(self) -> "Snapshot":
+        return Snapshot(
+            forks=self.forks,
+            switches=self.switches,
+            dispatches=self.dispatches,
+            preemptions=self.preemptions,
+            yields=self.yields,
+            ml_enters=self.ml_enters,
+            ml_contended=self.ml_contended,
+            cv_waits=self.cv_waits,
+            cv_timeouts=self.cv_timeouts,
+            cv_notifies=self.cv_notifies,
+            cv_wakeups=self.cv_wakeups,
+            spurious_conflicts=self.spurious_conflicts,
+            threads_created=self.threads_created,
+            threads_finished=self.threads_finished,
+            exec_interval_index=len(self.exec_intervals),
+            thread_log_index=len(self.thread_log),
+            lifetime_index=len(self.lifetimes),
+            monitors_used=len(self.monitors_used),
+            cvs_used=len(self.cvs_used),
+        )
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Counter values at an instant; subtract two to get window deltas."""
+
+    forks: int
+    switches: int
+    dispatches: int
+    preemptions: int
+    yields: int
+    ml_enters: int
+    ml_contended: int
+    cv_waits: int
+    cv_timeouts: int
+    cv_notifies: int
+    cv_wakeups: int
+    spurious_conflicts: int
+    threads_created: int
+    threads_finished: int
+    exec_interval_index: int
+    thread_log_index: int
+    lifetime_index: int
+    monitors_used: int
+    cvs_used: int
+
+    def delta(self, earlier: "Snapshot") -> dict[str, int]:
+        """Per-counter differences ``self - earlier``."""
+        result: dict[str, int] = {}
+        for name in self.__dataclass_fields__:
+            result[name] = getattr(self, name) - getattr(earlier, name)
+        return result
+
+
+@dataclass
+class WindowStats:
+    """Deltas over a measurement window plus the window duration."""
+
+    duration: int
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def rate(self, counter: str) -> float:
+        """Events per second of simulated time."""
+        from repro.kernel.simtime import per_second
+
+        return per_second(self.counts.get(counter, 0), self.duration)
+
+    def fraction(self, numerator: str, denominator: str) -> float:
+        denom = self.counts.get(denominator, 0)
+        if denom == 0:
+            return 0.0
+        return self.counts.get(numerator, 0) / denom

@@ -1,0 +1,47 @@
+"""The ten thread-usage paradigms of Section 4, as reusable components.
+
+| Paradigm             | Module            | Paper section |
+|----------------------|-------------------|---------------|
+| defer work           | ``defer``         | 4.1           |
+| general pumps        | ``pump``          | 4.2           |
+| slack processes      | ``slack``         | 4.2, 5.2      |
+| sleepers             | ``sleeper``       | 4.3           |
+| one-shots            | ``oneshot``       | 4.3           |
+| deadlock avoiders    | ``deadlock_avoid``| 4.4           |
+| task rejuvenation    | ``rejuvenate``    | 4.5           |
+| serializers          | ``serializer``    | 4.6           |
+| concurrency exploiters | ``exploit``     | 4.7           |
+| encapsulated forks   | ``encapsulated``  | 4.8           |
+"""
+
+from repro.paradigms.defer import defer_work, run_deferred
+from repro.paradigms.encapsulated import (
+    CallbackRegistry,
+    delayed_fork,
+    periodical_fork,
+)
+from repro.paradigms.exploit import parallel_map
+from repro.paradigms.oneshot import GuardedButton, one_shot
+from repro.paradigms.pump import Pump, connect_pipeline
+from repro.paradigms.rejuvenate import rejuvenating
+from repro.paradigms.serializer import MBQueue
+from repro.paradigms.slack import SlackProcess
+from repro.paradigms.sleeper import PeriodicalProcess, Sleeper
+
+__all__ = [
+    "CallbackRegistry",
+    "GuardedButton",
+    "MBQueue",
+    "PeriodicalProcess",
+    "Pump",
+    "SlackProcess",
+    "Sleeper",
+    "connect_pipeline",
+    "defer_work",
+    "delayed_fork",
+    "one_shot",
+    "parallel_map",
+    "periodical_fork",
+    "rejuvenating",
+    "run_deferred",
+]

@@ -1,0 +1,96 @@
+"""Defer work (Section 4.1) — "the single most common use of forking".
+
+"A procedure can often reduce the latency seen by its clients by forking a
+thread to do work not required for the procedure's return value."
+
+The paradigm is just FORK-and-forget, so the component surface is small:
+:func:`defer_work` forks a detached thread and returns immediately, and
+:func:`run_deferred` is the joinable variant for callers that eventually
+need the result.  Both exist mainly so the static census can recognise
+work-deferral sites by name, the way the paper's authors recognised them
+by idiom.
+
+The "critical thread" flavour — a thread so latency-sensitive it forks
+almost everything ("These critical threads play the role of interrupt
+handlers") — is :class:`CriticalEventLoop`: it drains a device channel at
+high priority and forks the real handling into lower-priority threads,
+like the Notifier in both Cedar and GVX.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.kernel.channel import Channel
+from repro.kernel.primitives import Channelreceive, Fork, ThreadProc
+
+
+def defer_work(
+    proc: ThreadProc,
+    args: tuple = (),
+    *,
+    name: str | None = None,
+    priority: int | None = None,
+):
+    """Fork ``proc`` detached and return its thread handle immediately.
+
+    Use as ``handle = yield from defer_work(print_document, (doc,))``.
+    Control "returns immediately to the user" while the work proceeds.
+    """
+    handle = yield Fork(proc, args=args, name=name, priority=priority, detached=True)
+    return handle
+
+
+def run_deferred(
+    proc: ThreadProc,
+    args: tuple = (),
+    *,
+    name: str | None = None,
+    priority: int | None = None,
+):
+    """Fork ``proc`` joinable, for callers that later JOIN the result."""
+    handle = yield Fork(proc, args=args, name=name, priority=priority)
+    return handle
+
+
+class CriticalEventLoop:
+    """A high-priority thread that defers almost all work (the Notifier).
+
+    "Some threads are themselves so critical to system responsiveness
+    that they fork to defer almost any work at all beyond noticing what
+    work needs to be done."
+
+    ``handler_factory(event)`` returns the thread proc that does the real
+    work; the loop forks it at ``worker_priority`` and goes straight back
+    to watching the device.
+    """
+
+    def __init__(
+        self,
+        device: Channel,
+        handler_factory: Callable[[Any], ThreadProc],
+        *,
+        worker_priority: int = 4,
+        name: str = "Notifier",
+    ) -> None:
+        self.device = device
+        self.handler_factory = handler_factory
+        self.worker_priority = worker_priority
+        self.name = name
+        self.events_seen = 0
+        self.forks_made = 0
+
+    def proc(self):
+        """The event-loop thread body (run at high priority)."""
+        while True:
+            event = yield Channelreceive(self.device)
+            self.events_seen += 1
+            handler = self.handler_factory(event)
+            if handler is not None:
+                self.forks_made += 1
+                yield Fork(
+                    handler,
+                    name=f"{self.name}.worker",
+                    priority=self.worker_priority,
+                    detached=True,
+                )

@@ -1,0 +1,115 @@
+"""Encapsulated forks (Section 4.8): packages that capture paradigms.
+
+"One way that our systems promote use of common thread paradigms is by
+providing modules that encapsulate the paradigms."  The paper names three:
+DelayedFork (a one-shot), PeriodicalFork (a repeating DelayedFork — the
+sleeper paradigm "where the wakeups are prompted solely by the passage of
+time"), and MBQueue (in :mod:`repro.paradigms.serializer`).
+
+Also here: the *fork boolean* convention of Section 4.8's "Miscellaneous"
+notes — "Many modules that do callbacks offer a fork boolean parameter in
+their interface ...  The default is almost always TRUE, meaning the
+callback will be forked.  Unforked callbacks are usually intended for
+experts."  :class:`CallbackRegistry` implements it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.kernel.primitives import Compute, Fork, Pause, ThreadProc
+from repro.kernel.simtime import usec
+
+
+def delayed_fork(
+    proc: ThreadProc,
+    args: tuple = (),
+    *,
+    delay: int,
+    name: str = "DelayedFork",
+):
+    """DelayedFork: "It calls a procedure at some time in the future."
+
+    Forks (detached) a one-shot that sleeps ``delay`` then runs ``proc``.
+    Usage: ``yield from delayed_fork(repaint, (window,), delay=msec(500))``.
+    """
+
+    def one_shot():
+        yield Pause(delay)
+        yield from proc(*args)
+
+    handle = yield Fork(one_shot, name=name, detached=True)
+    return handle
+
+
+def periodical_fork(
+    proc: ThreadProc,
+    args: tuple = (),
+    *,
+    period: int,
+    name: str = "PeriodicalFork",
+):
+    """PeriodicalFork: "simply a DelayedFork that repeats over and over
+    again at fixed intervals."
+
+    Returns the eternal thread's handle.  Each activation runs ``proc``
+    on the sleeper thread itself (not a fresh fork per activation — the
+    encapsulation exists to *avoid* hundreds of sleeper stacks).
+    """
+
+    def sleeper():
+        while True:
+            yield Pause(period)
+            yield from proc(*args)
+
+    handle = yield Fork(sleeper, name=name, detached=True)
+    return handle
+
+
+class CallbackRegistry:
+    """Callbacks with the fork-boolean convention.
+
+    Clients register with ``fork=True`` (the safe default: the module
+    forks each callback, insulating itself) or ``fork=False`` (experts:
+    faster, but the caller's "future execution ... within the module
+    [becomes] dependent on successful completion of the client callback").
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._entries: list[tuple[Callable[..., Any], bool, int]] = []
+        self.invocations = 0
+        self.forked_invocations = 0
+
+    def register(
+        self,
+        callback: Callable[..., Any],
+        *,
+        fork: bool = True,
+        cost: int = usec(50),
+    ) -> None:
+        self._entries.append((callback, fork, cost))
+
+    def invoke_all(self, *args: Any):
+        """Run every registered callback (generator).
+
+        Forked callbacks go to detached threads; unforked ones run inline
+        on the calling thread, errors and all.
+        """
+        for callback, fork, cost in list(self._entries):
+            self.invocations += 1
+            if fork:
+                self.forked_invocations += 1
+
+                def forked_body(cb=callback, c=cost):
+                    yield Compute(c)
+                    result = cb(*args)
+                    if hasattr(result, "send"):
+                        yield from result
+
+                yield Fork(forked_body, name=f"{self.name}.callback", detached=True)
+            else:
+                yield Compute(cost)
+                result = callback(*args)
+                if hasattr(result, "send"):
+                    yield from result

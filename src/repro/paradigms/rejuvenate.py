@@ -1,0 +1,121 @@
+"""Task rejuvenation (Section 4.5): when a thread gets into a bad state,
+fork a fresh copy.
+
+"Sometimes threads get into bad states, such as arise from uncaught
+exceptions or stack overflow, from which recovery is impossible within the
+thread itself.  In many cases, however, cleanup and recovery is possible
+if a new 'task rejuvenation' thread is forked.  (This thread is in
+trouble.  Ok let's make two of them!)"
+
+Two shapes:
+
+* :func:`rejuvenating` wraps any service proc: an uncaught exception forks
+  a replacement copy (up to ``max_restarts``) instead of killing the
+  service;
+* :class:`RejuvenatingDispatcher` is the paper's concrete example — an
+  input-event dispatcher that makes *unforked* callbacks for speed
+  ("this code is on the critical path for user-visible performance") and
+  relies on rejuvenation to survive client errors.
+
+The paper calls the paradigm "controversial" — "Its ability to mask
+underlying design problems suggests that it be used with caution" — so
+every restart is counted and reported, never silent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.kernel.primitives import Channelreceive, Compute, Fork, ThreadProc
+from repro.kernel.simtime import usec
+
+
+class RejuvenationLog:
+    """Shared restart accounting for a rejuvenating service."""
+
+    def __init__(self) -> None:
+        self.restarts = 0
+        self.errors: list[BaseException] = []
+
+    def record(self, error: BaseException) -> None:
+        self.restarts += 1
+        self.errors.append(error)
+
+
+def rejuvenating(
+    proc_factory: Callable[[], ThreadProc],
+    *,
+    name: str = "service",
+    max_restarts: int = 10,
+    log: RejuvenationLog | None = None,
+) -> tuple[ThreadProc, RejuvenationLog]:
+    """Wrap a service so uncaught errors fork a fresh copy.
+
+    ``proc_factory`` builds a new body generator per incarnation (state
+    from the dead incarnation is deliberately not carried over — it was
+    in a bad state).  Returns ``(proc, log)``; fork ``proc`` to start the
+    first incarnation.
+    """
+    restart_log = log if log is not None else RejuvenationLog()
+
+    def incarnation():
+        try:
+            yield from proc_factory()()
+        except Exception as error:  # noqa: BLE001 - rejuvenation boundary
+            restart_log.record(error)
+            if restart_log.restarts <= max_restarts:
+                # "an exception handler may simply fork a new copy of the
+                # service."
+                yield Fork(incarnation, name=f"{name}.rejuvenated", detached=True)
+            else:
+                raise
+
+    return incarnation, restart_log
+
+
+class RejuvenatingDispatcher:
+    """The Cedar input-event dispatcher with a task-rejuvenating FORK.
+
+    "The dispatcher makes unforked callbacks to client procedures because
+    (a) this code is on the critical path for user-visible performance and
+    (b) most callbacks are very short ... But not forking makes the
+    dispatcher vulnerable to uncaught runtime errors that occur in the
+    callbacks.  Using task rejuvenation, the new copy of the dispatcher
+    keeps running."
+    """
+
+    def __init__(
+        self,
+        device: Any,
+        *,
+        dispatch_cost: int = usec(20),
+        max_restarts: int = 100,
+    ) -> None:
+        self.device = device
+        self.dispatch_cost = dispatch_cost
+        self.max_restarts = max_restarts
+        self.callbacks: list[Callable[[Any], Any]] = []
+        self.dispatched = 0
+        self.log = RejuvenationLog()
+
+    def register(self, callback: Callable[[Any], Any]) -> None:
+        """Register an *unforked* callback (experts only, per §4.8)."""
+        self.callbacks.append(callback)
+
+    def proc(self):
+        """Dispatcher body; fork this (detached) to start dispatching."""
+        try:
+            while True:
+                event = yield Channelreceive(self.device)
+                yield Compute(self.dispatch_cost)
+                for callback in self.callbacks:
+                    result = callback(event)  # unforked: fast but exposed
+                    if hasattr(result, "send"):
+                        yield from result
+                self.dispatched += 1
+        except Exception as error:  # noqa: BLE001 - rejuvenation boundary
+            self.log.record(error)
+            if self.log.restarts <= self.max_restarts:
+                yield Fork(self.proc, name="dispatcher.rejuvenated", detached=True)
+            else:
+                raise

@@ -1,0 +1,6 @@
+"""PCR runtime facade: world assembly and system daemons."""
+
+from repro.runtime.daemon import SYSTEM_DAEMON_PRIORITY, install_system_daemon
+from repro.runtime.pcr import World
+
+__all__ = ["SYSTEM_DAEMON_PRIORITY", "World", "install_system_daemon"]

@@ -1,0 +1,58 @@
+"""The SystemDaemon (Section 6.2).
+
+"PCR utilizes a high-priority sleeper thread (which we call the
+SystemDaemon) that regularly wakes up and donates, using a directed yield,
+a small timeslice to another thread chosen at random.  In this way we
+ensure that all ready threads get some cpu resource, regardless of their
+priorities."
+
+The daemon is the second of the paper's two priority-inversion
+workarounds; the priority-inversion case study runs the Birrell scenario
+with and without it.  "In both systems, priority level 6 gets used by the
+system daemon that does proportional scheduling."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.kernel.primitives import DirectedYield, Pause
+from repro.kernel.simtime import msec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.thread import SimThread
+
+SYSTEM_DAEMON_PRIORITY = 6
+DEFAULT_DAEMON_PERIOD = msec(200)
+
+
+def system_daemon_proc(kernel: "Kernel", period: int):
+    """Thread body: sleep, pick a random ready thread, donate a slice.
+
+    The donation lasts until the next scheduler tick (directed-yield
+    semantics), so each beneficiary gets at most the remainder of a
+    quantum — "a small timeslice".
+    """
+    while True:
+        yield Pause(period)
+        ready = kernel.scheduler.ready_threads()
+        if ready:
+            target = kernel.rng.choice(ready)
+            yield DirectedYield(target)
+
+
+def install_system_daemon(
+    kernel: "Kernel",
+    *,
+    period: int = DEFAULT_DAEMON_PERIOD,
+    priority: int = SYSTEM_DAEMON_PRIORITY,
+) -> "SimThread":
+    """Fork the SystemDaemon into a kernel; returns its thread."""
+    return kernel.fork_root(
+        system_daemon_proc,
+        args=(kernel, period),
+        name="SystemDaemon",
+        priority=priority,
+        role="eternal",
+    )

@@ -1,0 +1,64 @@
+"""A one-shot completion latch.
+
+The shape behind "call me back when X is finished" coordination between
+threads: one or more waiters park on a CV until a completer fires the
+latch exactly once.  A tiny but ubiquitous CV idiom in systems like the
+paper's — it also doubles as a clean building block for tests that need
+a rendezvous point.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kernel.primitives import Broadcast, Enter, Exit, Wait
+from repro.sync.condition import ConditionVariable
+from repro.sync.monitor import Monitor
+
+
+class Latch:
+    """Fire once; every past and future waiter proceeds."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.monitor = Monitor(f"{name}.lock")
+        self.fired_cv = ConditionVariable(self.monitor, f"{name}.fired")
+        self.fired = False
+        self.value: Any = None
+
+    def fire(self, value: Any = None):
+        """Complete the latch (generator).  Firing twice is an error —
+        a latch models a one-shot event."""
+        yield Enter(self.monitor)
+        try:
+            if self.fired:
+                raise RuntimeError(f"latch {self.name!r} fired twice")
+            self.fired = True
+            self.value = value
+            yield Broadcast(self.fired_cv)
+        finally:
+            yield Exit(self.monitor)
+
+    def await_fired(self, timeout: int | None = None):
+        """Wait until the latch fires (generator).
+
+        Returns the fired value, or raises TimeoutExpired if ``timeout``
+        elapses first.  WAIT sits in a loop, per the house rule.
+        """
+        yield Enter(self.monitor)
+        try:
+            while not self.fired:
+                notified = yield Wait(self.fired_cv, timeout)
+                if not notified and not self.fired:
+                    raise TimeoutExpired(self.name)
+            return self.value
+        finally:
+            yield Exit(self.monitor)
+
+
+class TimeoutExpired(Exception):
+    """An await_fired timeout elapsed before the latch fired."""
+
+    def __init__(self, latch_name: str) -> None:
+        super().__init__(f"timed out waiting for latch {latch_name!r}")
+        self.latch_name = latch_name

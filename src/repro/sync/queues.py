@@ -1,0 +1,132 @@
+"""CV-based queues: the connective tissue of pumps and pipelines.
+
+"Bounded buffers and external devices are two common sources and sinks
+[for pumps].  The former occur in several implementations in our systems
+for connecting threads together."  (Section 4.2.)
+
+Both queues follow the canonical Mesa producer-consumer pattern: a monitor
+protecting the data, one CV per waited-for condition, WAIT always inside a
+WHILE loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.kernel.primitives import Broadcast, Enter, Exit, Notify, Wait
+from repro.sync.condition import ConditionVariable
+from repro.sync.monitor import Monitor
+
+
+class UnboundedQueue:
+    """FIFO with blocking get; put never blocks.
+
+    The shape used by serializers and work queues: producers enqueue and
+    NOTIFY, one or more consumer threads drain.
+    """
+
+    def __init__(self, name: str, *, get_timeout: int | None = None) -> None:
+        self.name = name
+        self.monitor = Monitor(f"{name}.lock")
+        self.nonempty = ConditionVariable(
+            self.monitor, f"{name}.nonempty", timeout=get_timeout
+        )
+        self.items: deque[Any] = deque()
+        self.puts = 0
+        self.gets = 0
+
+    def put(self, item: Any):
+        """Enqueue and wake one consumer.  (Generator; use ``yield from``.)"""
+        yield Enter(self.monitor)
+        try:
+            self.items.append(item)
+            self.puts += 1
+            yield Notify(self.nonempty)
+        finally:
+            yield Exit(self.monitor)
+
+    def get(self, timeout: int | None = None):
+        """Dequeue the oldest item; blocks while empty.
+
+        Returns the item, or ``None`` if ``timeout`` (or the queue's
+        default get timeout) elapsed with the queue still empty.
+        """
+        yield Enter(self.monitor)
+        try:
+            while not self.items:
+                notified = yield Wait(self.nonempty, timeout)
+                if not notified and not self.items:
+                    return None
+            self.gets += 1
+            return self.items.popleft()
+        finally:
+            yield Exit(self.monitor)
+
+    def get_all(self):
+        """Drain every queued item without blocking (may return [])."""
+        yield Enter(self.monitor)
+        try:
+            drained = list(self.items)
+            self.items.clear()
+            self.gets += len(drained)
+            return drained
+        finally:
+            yield Exit(self.monitor)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class BoundedBuffer:
+    """Classic bounded buffer: put blocks when full, get blocks when empty."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.monitor = Monitor(f"{name}.lock")
+        self.nonempty = ConditionVariable(self.monitor, f"{name}.nonempty")
+        self.nonfull = ConditionVariable(self.monitor, f"{name}.nonfull")
+        self.items: deque[Any] = deque()
+        self.puts = 0
+        self.gets = 0
+        #: High-water mark, for pipeline diagnostics.
+        self.max_depth = 0
+
+    def put(self, item: Any):
+        yield Enter(self.monitor)
+        try:
+            while len(self.items) >= self.capacity:
+                yield Wait(self.nonfull)
+            self.items.append(item)
+            self.puts += 1
+            self.max_depth = max(self.max_depth, len(self.items))
+            yield Notify(self.nonempty)
+        finally:
+            yield Exit(self.monitor)
+
+    def get(self):
+        yield Enter(self.monitor)
+        try:
+            while not self.items:
+                yield Wait(self.nonempty)
+            item = self.items.popleft()
+            self.gets += 1
+            yield Notify(self.nonfull)
+            return item
+        finally:
+            yield Exit(self.monitor)
+
+    def close_broadcast(self):
+        """Wake everyone (used by shutdown paths in tests)."""
+        yield Enter(self.monitor)
+        try:
+            yield Broadcast(self.nonempty)
+            yield Broadcast(self.nonfull)
+        finally:
+            yield Exit(self.monitor)
+
+    def __len__(self) -> int:
+        return len(self.items)

@@ -1,0 +1,98 @@
+"""A reader-writer lock built from one monitor and two CVs.
+
+The Mesa construction: state (reader count + writer flag) lives under a
+monitor; readers wait on one condition, writers on another.  Writers are
+preferred once waiting (a pending writer blocks new readers), the usual
+anti-starvation choice for display/layout structures like the ones the
+paper's window systems protected.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.primitives import Broadcast, Enter, Exit, Notify, Wait
+from repro.sync.condition import ConditionVariable
+from repro.sync.monitor import Monitor
+
+
+class ReadWriteLock:
+    """Shared/exclusive lock with writer preference."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.monitor = Monitor(f"{name}.lock")
+        self.readers_cv = ConditionVariable(self.monitor, f"{name}.readers")
+        self.writers_cv = ConditionVariable(self.monitor, f"{name}.writers")
+        self.active_readers = 0
+        self.active_writer = False
+        self.waiting_writers = 0
+        #: High-water mark of simultaneous readers (tests/diagnostics).
+        self.max_concurrent_readers = 0
+
+    def acquire_read(self):
+        """Shared acquisition (generator)."""
+        yield Enter(self.monitor)
+        try:
+            while self.active_writer or self.waiting_writers > 0:
+                yield Wait(self.readers_cv)
+            self.active_readers += 1
+            self.max_concurrent_readers = max(
+                self.max_concurrent_readers, self.active_readers
+            )
+        finally:
+            yield Exit(self.monitor)
+
+    def release_read(self):
+        yield Enter(self.monitor)
+        try:
+            if self.active_readers <= 0:
+                raise RuntimeError(f"{self.name}: release_read without readers")
+            self.active_readers -= 1
+            if self.active_readers == 0:
+                yield Notify(self.writers_cv)
+        finally:
+            yield Exit(self.monitor)
+
+    def acquire_write(self):
+        """Exclusive acquisition (generator)."""
+        yield Enter(self.monitor)
+        try:
+            self.waiting_writers += 1
+            try:
+                while self.active_writer or self.active_readers > 0:
+                    yield Wait(self.writers_cv)
+            finally:
+                self.waiting_writers -= 1
+            self.active_writer = True
+        finally:
+            yield Exit(self.monitor)
+
+    def release_write(self):
+        yield Enter(self.monitor)
+        try:
+            if not self.active_writer:
+                raise RuntimeError(f"{self.name}: release_write without writer")
+            self.active_writer = False
+            if self.waiting_writers > 0:
+                yield Notify(self.writers_cv)
+            else:
+                yield Broadcast(self.readers_cv)
+        finally:
+            yield Exit(self.monitor)
+
+    def read_locked(self, body):
+        """Run a sub-generator under the read lock (generator)."""
+        yield from self.acquire_read()
+        try:
+            result = yield from body
+        finally:
+            yield from self.release_read()
+        return result
+
+    def write_locked(self, body):
+        """Run a sub-generator under the write lock (generator)."""
+        yield from self.acquire_write()
+        try:
+            result = yield from body
+        finally:
+            yield from self.release_write()
+        return result

@@ -1,0 +1,74 @@
+"""The §5.2 buffer thread: a slack process in front of the X server.
+
+"In one of our systems, the batching is performed using the slack process
+paradigm embodied in a high priority thread.  The buffer thread
+accumulates paint requests, merges overlapping requests and sends them
+only occasionally to the X server.  In the usual producer-consumer style,
+an imaging thread puts paint requests on a queue for the buffer thread and
+issues a NOTIFY to wake it up."
+
+This module just wires :class:`repro.paradigms.slack.SlackProcess` to an
+:class:`repro.xwindows.server.XServer`; the gather *strategy* (plain
+YIELD vs YieldButNotToMe vs sleep) is the experimental variable of case
+studies C1 and C2.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.paradigms.slack import SlackProcess
+from repro.sync.queues import UnboundedQueue
+
+
+class PaintRequest:
+    """A paint request for a screen region.
+
+    Requests for the same ``region`` overlap: a later one supersedes an
+    earlier one, which is what lets the buffer thread merge.
+    """
+
+    __slots__ = ("region", "payload", "issued_at")
+
+    def __init__(self, region: Any, payload: Any = None, issued_at: int = 0) -> None:
+        self.region = region
+        self.payload = payload
+        self.issued_at = issued_at
+
+    @property
+    def key(self) -> Any:
+        """Merge key (read by :func:`merge_keep_latest`)."""
+        return self.region
+
+    def __repr__(self) -> str:
+        return f"<Paint {self.region!r}@{self.issued_at}>"
+
+
+def make_buffer_thread(
+    server: Any,
+    *,
+    strategy: str,
+    name: str = "buffer",
+    gather_rounds: int = 1,
+    sleep_interval: int = 0,
+) -> tuple[UnboundedQueue, SlackProcess]:
+    """Build the §5.2 buffer thread.
+
+    Returns ``(queue, slack)``: imaging threads ``yield from
+    queue.put(PaintRequest(...))``; fork ``slack.proc`` (traditionally at
+    high priority — the choice that caused all the trouble).
+    """
+    queue = UnboundedQueue(f"{name}.requests")
+
+    def deliver(batch: list[Any]):
+        yield from server.submit(batch)
+
+    slack = SlackProcess(
+        name,
+        queue,
+        deliver,
+        strategy=strategy,
+        gather_rounds=gather_rounds,
+        sleep_interval=sleep_interval,
+    )
+    return queue, slack

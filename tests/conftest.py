@@ -1,0 +1,17 @@
+"""Shared test fixtures.
+
+The autouse teardown closes any kernels a test left running so their
+suspended thread generators (paused inside ``try/finally`` blocks that
+yield Exit traps) unwind cleanly instead of emitting "generator ignored
+GeneratorExit" warnings at garbage collection.
+"""
+
+import pytest
+
+from repro.kernel.kernel import shutdown_all_kernels
+
+
+@pytest.fixture(autouse=True)
+def _shutdown_kernels():
+    yield
+    shutdown_all_kernels()

@@ -1,0 +1,76 @@
+"""Chrome trace-event export."""
+
+import json
+
+from repro.analysis.chrome_trace import build_chrome_trace, write_chrome_trace
+from repro.kernel import Kernel, KernelConfig, msec, usec
+from repro.kernel import primitives as p
+
+
+def _traced_run():
+    kernel = Kernel(KernelConfig(trace=True))
+
+    def child():
+        yield p.Compute(usec(500))
+
+    def parent():
+        handle = yield p.Fork(child, name="child")
+        yield p.Compute(usec(200))
+        yield p.Join(handle)
+
+    kernel.fork_root(parent, name="parent")
+    kernel.run_for(msec(10))
+    return kernel
+
+
+class TestChromeTrace:
+    def test_thread_rows_named(self):
+        kernel = _traced_run()
+        trace = build_chrome_trace(kernel.tracer)
+        names = {
+            e["args"]["name"] for e in trace["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert "parent" in names
+        assert any(name.startswith("child") for name in names)
+        kernel.shutdown()
+
+    def test_running_spans_have_positive_duration(self):
+        kernel = _traced_run()
+        trace = build_chrome_trace(kernel.tracer)
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert spans
+        for span in spans:
+            assert span["dur"] > 0
+            assert span["name"] == "running"
+        kernel.shutdown()
+
+    def test_fork_markers_exported(self):
+        kernel = _traced_run()
+        trace = build_chrome_trace(kernel.tracer)
+        marks = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert any(e["name"] == "fork" for e in marks)
+        kernel.shutdown()
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        kernel = _traced_run()
+        path = tmp_path / "trace.json"
+        exported = write_chrome_trace(kernel.tracer, str(path))
+        assert exported > 0
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) == exported
+        kernel.shutdown()
+
+    def test_cpu_time_matches_span_total(self):
+        # The exported spans account for the threads' CPU time.
+        kernel = _traced_run()
+        trace = build_chrome_trace(kernel.tracer)
+        span_total = sum(
+            e["dur"] for e in trace["traceEvents"] if e["ph"] == "X"
+        )
+        cpu_total = sum(
+            t.stats.cpu_time for t in kernel.threads.values()
+        )
+        assert span_total == cpu_total
+        kernel.shutdown()

@@ -1,0 +1,65 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_ybntm_command(self, capsys):
+        assert main(["ybntm"]) == 0
+        out = capsys.readouterr().out
+        assert "YieldButNotToMe" in out
+        assert "three-fold" in out
+
+    def test_inversion_command(self, capsys):
+        assert main(["inversion"]) == 0
+        out = capsys.readouterr().out
+        assert "starved" in out
+        assert "daemon" in out
+
+    def test_census_command(self, capsys):
+        assert main(["census"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4 (Cedar)" in out
+        assert "defer-work" in out
+
+    def test_tables_single_system(self, capsys):
+        assert main(["tables", "GVX"]) == 0
+        out = capsys.readouterr().out
+        assert "GVX" in out
+        assert "Cedar" not in out
+
+    def test_spurious_command(self, capsys):
+        assert main(["spurious"]) == 0
+        out = capsys.readouterr().out
+        assert "immediate" in out and "deferred" in out
+
+    def test_fairshare_command(self, capsys):
+        assert main(["fairshare"]) == 0
+        out = capsys.readouterr().out
+        assert "strict" in out and "fair_share" in out
+
+    def test_seed_flag_changes_nothing_structural(self, capsys):
+        assert main(["--seed", "3", "spurious"]) == 0
+        out = capsys.readouterr().out
+        assert "spurious" in out
+
+    def test_trace_command_writes_chrome_json(self, capsys, tmp_path):
+        output = tmp_path / "trace.json"
+        assert main(["trace", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "event history" in out
+        assert output.exists()
+        import json
+
+        loaded = json.loads(output.read_text())
+        assert loaded["traceEvents"]

@@ -1,0 +1,69 @@
+"""Every example script must run cleanly end to end.
+
+These are the deliverable's user-facing entry points; a refactor that
+breaks one should fail the suite, not a reader's first session.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "guarded_button.py",
+    "event_history.py",
+    "viewer_session.py",
+]
+
+
+def _run(script: str, timeout: int):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_fast_example_runs(script):
+    result = _run(script, timeout=120)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_output_shape():
+    result = _run("quickstart.py", timeout=120)
+    assert "consumer got" in result.stdout
+    assert "message-0" in result.stdout
+
+def test_guarded_button_narrative():
+    result = _run("guarded_button.py", timeout=120)
+    assert "invokes" in result.stdout
+    assert "action fired: True" in result.stdout
+    assert "action fired: False" in result.stdout
+
+
+def test_keyboard_echo_reports_improvement():
+    result = _run("keyboard_echo.py", timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "three-fold" in result.stdout
+    assert "quantum" in result.stdout
+
+
+def test_static_census_reports_accuracy():
+    result = _run("static_census.py", timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "Table 4 (Cedar)" in result.stdout
+    assert "accuracy 100.0%" in result.stdout
+
+
+def test_cedar_session_prints_both_systems():
+    result = _run("cedar_session.py", timeout=600)
+    assert result.returncode == 0, result.stderr
+    assert "Cedar: Tables 1-3" in result.stdout
+    assert "GVX: Tables 1-3" in result.stdout

@@ -1,0 +1,38 @@
+"""Lifetime analysis unit tests."""
+
+from repro.analysis.lifetimes import LifetimeReport, analyse, is_well_under_a_second
+from repro.kernel.simtime import msec, sec
+
+
+class TestLifetimeAnalysis:
+    def test_classification_by_role(self):
+        report = analyse([
+            (msec(100), None),     # transient
+            (msec(200), None),     # transient
+            (sec(5), "worker"),    # worker
+        ])
+        assert report.transient_count == 2
+        assert report.worker_count == 1
+        assert report.mean_transient_lifetime == msec(150)
+        assert report.max_transient_lifetime == msec(200)
+
+    def test_transient_share(self):
+        report = analyse([(1, None), (2, None), (3, "worker")])
+        assert report.transient_share == 2 / 3
+
+    def test_none_durations_skipped(self):
+        report = analyse([(None, None), (msec(10), None)])
+        assert report.finished == 1
+        assert report.transient_count == 1
+
+    def test_empty(self):
+        report = analyse([])
+        assert report.finished == 0
+        assert report.mean_transient_lifetime == 0.0
+        assert not is_well_under_a_second(report)
+
+    def test_well_under_a_second_threshold(self):
+        quick = analyse([(msec(100), None)])
+        slow = analyse([(sec(2), None)])
+        assert is_well_under_a_second(quick)
+        assert not is_well_under_a_second(slow)

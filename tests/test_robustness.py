@@ -1,0 +1,75 @@
+"""Robustness across seeds: the calibrated worlds and case studies must
+hold their shape for seeds we never tuned against."""
+
+import pytest
+
+from repro.casestudies.spurious import run_producer_consumer
+from repro.casestudies.ybntm import run_comparison
+from repro.kernel.simtime import sec
+from repro.workloads.base import run_activity
+from repro.workloads.cedar import CEDAR_ACTIVITIES, build_cedar_world
+from repro.workloads.gvx import GVX_ACTIVITIES, build_gvx_world
+
+SEEDS = [1, 17, 42]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestSeedRobustness:
+    def test_cedar_idle_bands(self, seed):
+        result = run_activity(
+            system="Cedar", activity="idle",
+            build_world=build_cedar_world, install=None,
+            warmup=sec(2), window=sec(6), seed=seed,
+        )
+        assert 0.4 <= result.forks_per_sec <= 1.6
+        assert 100 <= result.switches_per_sec <= 180
+        assert result.timeout_fraction >= 0.7
+        assert result.distinct_cvs == 22
+        assert result.max_live_threads <= 41
+
+    def test_gvx_never_forks_any_seed(self, seed):
+        result = run_activity(
+            system="GVX", activity="keyboard",
+            build_world=build_gvx_world,
+            install=GVX_ACTIVITIES["keyboard"],
+            warmup=sec(2), window=sec(6), seed=seed,
+        )
+        assert result.forks_per_sec == 0
+        assert result.distinct_cvs == 7
+
+    def test_ybntm_improvement_holds(self, seed):
+        comparison = run_comparison(seed=seed)
+        assert comparison.plain_yield.mean_batch <= 1.2
+        assert comparison.ybntm.mean_batch >= 3.0
+        assert comparison.server_work_reduction >= 2.0
+
+    def test_spurious_fix_holds(self, seed):
+        immediate = run_producer_consumer(
+            notify_semantics="immediate", items=20, seed=seed
+        )
+        deferred = run_producer_consumer(
+            notify_semantics="deferred", items=20, seed=seed
+        )
+        assert immediate.spurious_conflicts >= 18
+        assert deferred.spurious_conflicts == 0
+
+
+class TestCrossActivityShape:
+    """Orderings between activities must hold regardless of seed."""
+
+    @pytest.mark.parametrize("seed", [5])
+    def test_keyboard_busier_than_idle(self, seed):
+        idle = run_activity(
+            system="Cedar", activity="idle",
+            build_world=build_cedar_world, install=None,
+            warmup=sec(2), window=sec(6), seed=seed,
+        )
+        keyboard = run_activity(
+            system="Cedar", activity="keyboard",
+            build_world=build_cedar_world,
+            install=CEDAR_ACTIVITIES["keyboard"],
+            warmup=sec(2), window=sec(6), seed=seed,
+        )
+        assert keyboard.ml_enters_per_sec > 3 * idle.ml_enters_per_sec
+        assert keyboard.forks_per_sec > 3 * idle.forks_per_sec
+        assert keyboard.timeout_fraction < idle.timeout_fraction

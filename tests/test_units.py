@@ -1,0 +1,180 @@
+"""Small-unit coverage: simtime helpers, scheduler internals, errors."""
+
+import pytest
+
+from repro.kernel.config import KernelConfig
+from repro.kernel.errors import (
+    Deadlock,
+    ForkFailed,
+    KernelError,
+    KernelUsageError,
+    MonitorProtocolError,
+    SimThreadError,
+    UncaughtThreadError,
+)
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.simtime import fmt_time, msec, per_second, sec, usec
+from repro.kernel.thread import SimThread, ThreadState
+
+
+class TestSimtime:
+    def test_conversions(self):
+        assert usec(1) == 1
+        assert msec(1) == 1000
+        assert sec(1) == 1_000_000
+        assert msec(1.5) == 1500
+        assert sec(0.25) == 250_000
+
+    def test_rounding(self):
+        assert usec(1.4) == 1
+        assert usec(2.6) == 3
+
+    def test_fmt_time(self):
+        assert fmt_time(1_500_000) == "1.500000s"
+        assert fmt_time(0) == "0.000000s"
+
+    def test_per_second(self):
+        assert per_second(10, sec(2)) == 5.0
+        assert per_second(10, 0) == 0.0
+        assert per_second(0, sec(1)) == 0.0
+
+
+def _thread(tid, priority=4, name=None):
+    def body():
+        yield None
+
+    return SimThread(
+        tid=tid, name=name or f"t{tid}", body=body(), priority=priority,
+        created_at=0,
+    )
+
+
+class TestSchedulerUnit:
+    def test_make_ready_and_take_order(self):
+        scheduler = Scheduler(1)
+        a, b = _thread(1), _thread(2)
+        scheduler.make_ready(a)
+        scheduler.make_ready(b)
+        assert scheduler.take_next(scheduler.cpus[0]) is a
+        assert scheduler.take_next(scheduler.cpus[0]) is b
+        assert scheduler.take_next(scheduler.cpus[0]) is None
+
+    def test_front_insertion_for_preempted(self):
+        scheduler = Scheduler(1)
+        a, b = _thread(1), _thread(2)
+        scheduler.make_ready(a)
+        scheduler.make_ready(b, front=True)
+        assert scheduler.take_next(scheduler.cpus[0]) is b
+
+    def test_double_ready_is_a_bug(self):
+        scheduler = Scheduler(1)
+        a = _thread(1)
+        scheduler.make_ready(a)
+        with pytest.raises(AssertionError):
+            scheduler.make_ready(a)
+
+    def test_priority_ordering(self):
+        scheduler = Scheduler(1)
+        low, high = _thread(1, priority=2), _thread(2, priority=6)
+        scheduler.make_ready(low)
+        scheduler.make_ready(high)
+        assert scheduler.highest_ready_priority() == 6
+        assert scheduler.take_next(scheduler.cpus[0]) is high
+
+    def test_would_preempt_strictness(self):
+        scheduler = Scheduler(1)
+        peer = _thread(1, priority=4)
+        scheduler.make_ready(peer)
+        assert not scheduler.would_preempt(4)  # equal never preempts
+        assert scheduler.would_preempt(3)
+        assert not scheduler.would_preempt(5)
+
+    def test_peek_best_other_excludes(self):
+        scheduler = Scheduler(1)
+        a, b = _thread(1, priority=5), _thread(2, priority=3)
+        scheduler.make_ready(a)
+        scheduler.make_ready(b)
+        assert scheduler.peek_best_other(a) is b
+        assert scheduler.peek_best_other(b) is a
+
+    def test_requeue_for_priority_change(self):
+        scheduler = Scheduler(1)
+        a, b = _thread(1, priority=2), _thread(2, priority=4)
+        scheduler.make_ready(a)
+        scheduler.make_ready(b)
+        scheduler.requeue_for_priority_change(a, 6)
+        assert a.priority == 6
+        assert scheduler.take_next(scheduler.cpus[0]) is a
+
+    def test_clear_donations(self):
+        scheduler = Scheduler(2)
+        donee = _thread(1)
+        scheduler.cpus[0].donee = donee
+        scheduler.cpus[1].donee = donee
+        scheduler.clear_donations()
+        assert all(cpu.donee is None for cpu in scheduler.cpus)
+
+    def test_ready_threads_best_first(self):
+        scheduler = Scheduler(1)
+        threads = [_thread(i, priority=p) for i, p in enumerate([2, 6, 4], 1)]
+        for thread in threads:
+            scheduler.make_ready(thread)
+        priorities = [t.priority for t in scheduler.ready_threads()]
+        assert priorities == [6, 4, 2]
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(MonitorProtocolError, KernelUsageError)
+        assert issubclass(KernelUsageError, KernelError)
+        assert issubclass(ForkFailed, SimThreadError)
+        assert issubclass(Deadlock, KernelError)
+
+    def test_uncaught_wraps_original(self):
+        original = ValueError("inner")
+        wrapped = UncaughtThreadError("worker", original)
+        assert wrapped.original is original
+        assert "worker" in str(wrapped)
+
+    def test_config_validation_messages(self):
+        with pytest.raises(ValueError):
+            KernelConfig(quantum=0)
+        with pytest.raises(ValueError):
+            KernelConfig(ncpus=0)
+        with pytest.raises(ValueError):
+            KernelConfig(notify_semantics="later")
+        with pytest.raises(ValueError):
+            KernelConfig(fork_failure="shrug")
+        with pytest.raises(ValueError):
+            KernelConfig(switch_cost=-1)
+        with pytest.raises(ValueError):
+            KernelConfig(at_least_one_extra_prob=1.5)
+
+
+class TestThreadUnit:
+    def test_describe_block_states(self):
+        thread = _thread(1)
+        thread.state = ThreadState.READY
+        assert "runnable" in thread.describe_block()
+        thread.state = ThreadState.SLEEPING
+        thread.blocked_on = "sleep"
+        assert "sleeping" in thread.describe_block()
+
+    def test_ancestry_walks_to_root(self):
+        root = _thread(1, name="root")
+        child = SimThread(
+            tid=2, name="child", body=root.body, priority=4,
+            created_at=0, parent=root,
+        )
+        grandchild = SimThread(
+            tid=3, name="grandchild", body=root.body, priority=4,
+            created_at=0, parent=child,
+        )
+        assert [t.name for t in grandchild.ancestry()] == ["child", "root"]
+        assert grandchild.generation == 2
+
+    def test_lifetime_none_while_alive(self):
+        thread = _thread(1)
+        assert thread.lifetime is None
+        thread.ended_at = 500
+        assert thread.lifetime == 500
