@@ -1,12 +1,15 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench tables census quick all
+.PHONY: install test lint bench tables census races quick all
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+lint:
+	ruff check src tests benchmarks
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -16,6 +19,9 @@ tables:
 
 census:
 	python -m repro census
+
+races:
+	python -m repro races
 
 quick:
 	python examples/quickstart.py

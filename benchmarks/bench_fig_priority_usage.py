@@ -65,7 +65,6 @@ def test_priority_usage_gvx(benchmark, gvx_results):
     )
     assert report.threads_by_priority[3] >= 14
     # "Two of the five low-priority threads in fact never ran."
-    low_levels_cpu = report.cpu_by_priority[1] + report.cpu_by_priority[2]
     assert report.threads_by_priority[1] + report.threads_by_priority[2] >= 4
 
 

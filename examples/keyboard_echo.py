@@ -9,7 +9,6 @@ Run:  python examples/keyboard_echo.py
 
 from repro.casestudies.quantum import sweep_quantum
 from repro.casestudies.ybntm import run_comparison
-from repro.kernel.simtime import msec, sec
 
 
 def main() -> None:

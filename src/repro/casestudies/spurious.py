@@ -13,7 +13,7 @@ NOTIFY semantics and counts the wasted trips through the scheduler.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.kernel import Kernel, KernelConfig
 from repro.kernel.primitives import Compute, Enter, Exit, Notify
@@ -29,6 +29,8 @@ class SpuriousResult:
     spurious_conflicts: int
     switches: int
     dispatches: int
+    #: RaceReports when run with ``race_detection=True`` (else empty).
+    race_reports: list = field(default_factory=list)
 
 
 def run_producer_consumer(
@@ -39,6 +41,7 @@ def run_producer_consumer(
     producer_priority: int = 3,
     in_monitor_work: int = usec(100),
     seed: int = 0,
+    race_detection: bool = False,
 ) -> SpuriousResult:
     """One interpriority producer/consumer run.
 
@@ -50,7 +53,11 @@ def run_producer_consumer(
     blocks again.
     """
     kernel = Kernel(
-        KernelConfig(seed=seed, notify_semantics=notify_semantics)
+        KernelConfig(
+            seed=seed,
+            notify_semantics=notify_semantics,
+            race_detection=race_detection,
+        )
     )
     lock = Monitor("pc")
     nonempty = ConditionVariable(lock, "nonempty")
@@ -87,6 +94,9 @@ def run_producer_consumer(
         spurious_conflicts=kernel.stats.spurious_conflicts,
         switches=kernel.stats.switches,
         dispatches=kernel.stats.dispatches,
+        race_reports=(
+            list(kernel.race_detector.reports) if kernel.race_detector else []
+        ),
     )
     kernel.shutdown()
     return result

@@ -20,7 +20,7 @@ use memory barrier instructions").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.kernel import Kernel, KernelConfig, SimVar
 from repro.kernel.primitives import (
@@ -41,6 +41,8 @@ class PublicationResult:
     monitored: bool
     reads: int
     torn_reads: int  # pointer seen, fields not yet visible
+    #: RaceReports when run with ``race_detection=True`` (else empty).
+    race_reports: list = field(default_factory=list)
 
 
 def run_publication(
@@ -49,6 +51,7 @@ def run_publication(
     monitored: bool = False,
     rounds: int = 50,
     seed: int = 0,
+    race_detection: bool = False,
 ) -> PublicationResult:
     """The time-date record publication loop on two CPUs."""
     kernel = Kernel(
@@ -57,6 +60,7 @@ def run_publication(
             ncpus=2,
             memory_order=memory_order,
             store_buffer_delay=usec(20),
+            race_detection=race_detection,
         )
     )
     pointer = SimVar("global-record", initial=None)
@@ -101,6 +105,9 @@ def run_publication(
         monitored=monitored,
         reads=reads[0],
         torn_reads=torn[0],
+        race_reports=(
+            list(kernel.race_detector.reports) if kernel.race_detector else []
+        ),
     )
     kernel.shutdown()
     return result
@@ -111,6 +118,8 @@ class InitOnceResult:
     memory_order: str
     fenced: bool
     saw_uninitialised: bool
+    #: RaceReports when run with ``race_detection=True`` (else empty).
+    race_reports: list = field(default_factory=list)
 
 
 def run_init_once(
@@ -118,6 +127,7 @@ def run_init_once(
     memory_order: str,
     fenced: bool = False,
     seed: int = 0,
+    race_detection: bool = False,
 ) -> InitOnceResult:
     """Birrell's init-once hint on two CPUs.
 
@@ -134,6 +144,7 @@ def run_init_once(
             ncpus=2,
             memory_order=memory_order,
             store_buffer_delay=usec(20),
+            race_detection=race_detection,
         )
     )
     data = SimVar("init-data", initial=None)
@@ -165,6 +176,9 @@ def run_init_once(
         memory_order=memory_order,
         fenced=fenced,
         saw_uninitialised=observed["uninitialised"],
+        race_reports=(
+            list(kernel.race_detector.reports) if kernel.race_detector else []
+        ),
     )
     kernel.shutdown()
     return result

@@ -137,6 +137,67 @@ def _cmd_weakmem(args: argparse.Namespace) -> None:
     print(f"init-once under weak ordering: hazard in {weak}/20 seeds")
 
 
+def _cmd_races(args: argparse.Namespace) -> None:
+    """Run the §5.5 hazards and both workloads under the race detector."""
+    from repro.analysis.report import format_table
+    from repro.casestudies.spurious import run_producer_consumer
+    from repro.casestudies.weakmem import run_init_once, run_publication
+    from repro.kernel.config import KernelConfig
+    from repro.kernel.simtime import sec
+    from repro.workloads.cedar import build_cedar_world
+    from repro.workloads.gvx import build_gvx_world
+
+    rows = []
+    detailed = []
+
+    def add(label, races, lockset_only):
+        rows.append([label, len(races), len(lockset_only),
+                     "RACY" if races else "clean"])
+        detailed.extend(races)
+
+    for monitored in (False, True):
+        result = run_publication(memory_order="weak", monitored=monitored,
+                                 seed=args.seed, race_detection=True)
+        races = [r for r in result.race_reports if r.hb_race]
+        benign = [r for r in result.race_reports if not r.hb_race]
+        add(f"publication weak{'+monitor' if monitored else ''}", races, benign)
+
+    for fenced in (False, True):
+        result = run_init_once(memory_order="weak", fenced=fenced,
+                               seed=args.seed, race_detection=True)
+        races = [r for r in result.race_reports if r.hb_race]
+        benign = [r for r in result.race_reports if not r.hb_race]
+        add(f"init-once weak{'+fence' if fenced else ''}", races, benign)
+
+    result = run_producer_consumer(notify_semantics="deferred",
+                                   seed=args.seed, race_detection=True)
+    races = [r for r in result.race_reports if r.hb_race]
+    benign = [r for r in result.race_reports if not r.hb_race]
+    add("producer/consumer (monitored)", races, benign)
+
+    for label, builder in (("Cedar", build_cedar_world),
+                           ("GVX", build_gvx_world)):
+        world, _context = builder(
+            KernelConfig(seed=args.seed, race_detection=True)
+        )
+        world.run_for(sec(2))
+        detector = world.kernel.race_detector
+        add(f"{label} world (2 s)", detector.races, detector.lockset_only)
+        world.shutdown()
+
+    print(format_table(
+        "Race detector (Eraser lockset + happens-before)",
+        ["workload", "races", "lockset-only", "verdict"],
+        rows,
+    ))
+    if detailed:
+        print()
+        for report in detailed[:8]:
+            print(report.describe())
+        if len(detailed) > 8:
+            print(f"... and {len(detailed) - 8} more")
+
+
 def _cmd_adaptive(args: argparse.Namespace) -> None:
     from repro.extensions.adaptive_timeout import run_generations
 
@@ -190,6 +251,8 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "inversion": (_cmd_inversion, "the §6.2 priority-inversion study"),
     "xclients": (_cmd_xclients, "the §5.6 Xlib-vs-Xl comparison"),
     "weakmem": (_cmd_weakmem, "the §5.5 weak-memory hazards"),
+    "races": (_cmd_races, "dynamic race detection over the §5.5 hazards "
+                          "and the Cedar/GVX workloads"),
     "adaptive": (_cmd_adaptive, "future work: adaptive timeouts"),
     "fairshare": (_cmd_fairshare, "future work: fair-share scheduling"),
     "trace": (_cmd_trace, "render a 100 ms event history; optionally "

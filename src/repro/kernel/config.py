@@ -88,6 +88,11 @@ class KernelConfig:
     memory_order: str = MEMORY_STRONG
     #: Store-buffer flush latency under weak ordering.
     store_buffer_delay: int = usec(5)
+    #: Run the dynamic race detector (Eraser locksets + happens-before
+    #: vector clocks, :mod:`repro.analysis.races`) over every SimVar
+    #: access and synchronisation trap.  Purely observational: enabling
+    #: it never changes a schedule, disabling it costs nothing.
+    race_detection: bool = False
     #: Re-raise a thread's uncaught exception at end of run.
     propagate_thread_errors: bool = True
     #: Record a full event trace (costs memory; stats are always kept).

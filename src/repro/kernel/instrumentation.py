@@ -29,6 +29,7 @@ CAT_TICK = "tick"
 CAT_SLEEP = "sleep"
 CAT_CHANNEL = "channel"
 CAT_ANNOTATE = "annotate"
+CAT_RACE = "race"
 
 ALL_CATEGORIES = frozenset(
     {
@@ -42,6 +43,7 @@ ALL_CATEGORIES = frozenset(
         CAT_SLEEP,
         CAT_CHANNEL,
         CAT_ANNOTATE,
+        CAT_RACE,
     }
 )
 

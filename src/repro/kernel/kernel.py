@@ -186,6 +186,14 @@ class Kernel:
         self.memory = MemorySystem(self.config, self.rng.fork("memory"))
         #: Every SimVar touched through traps, so fences can drain buffers.
         self._vars_seen: dict[int, SimVar] = {}
+        #: Passive race detector (Eraser lockset + happens-before), or
+        #: None.  Imported lazily: analysis depends on the kernel, not
+        #: vice versa, except through this optional observer.
+        self.race_detector = None
+        if self.config.race_detection:
+            from repro.analysis.races import RaceDetector
+
+            self.race_detector = RaceDetector(self)
         _LIVE_KERNELS.add(self)
         # If the kernel is garbage-collected without shutdown(), close the
         # thread generators cleanly so their monitor-releasing `finally`
@@ -477,6 +485,8 @@ class Kernel:
         if monitor.owner is None:
             monitor.owner = thread
             thread.held_monitors.append(monitor)
+            if self.race_detector is not None:
+                self.race_detector.on_acquire(thread, monitor)
             return True
         # The monitor is held: this trip through the scheduler was useless.
         if was_notify:
@@ -650,6 +660,8 @@ class Kernel:
             self.now, instr.CAT_FORK, "create", thread.name,
             parent.name if parent else None,
         )
+        if self.race_detector is not None:
+            self.race_detector.on_fork(parent, thread)
         return thread
 
     def _finish(self, cpu: Cpu, thread: SimThread, value: Any) -> None:
@@ -665,6 +677,8 @@ class Kernel:
         self._account_thread_end(thread)
         if thread.joiner is not None:
             joiner = thread.joiner
+            if self.race_detector is not None:
+                self.race_detector.on_join(joiner, thread)
             joiner.pending_send = value
             self.scheduler.make_ready(joiner)
         self.tracer.record(self.now, instr.CAT_END, "finish", thread.name)
@@ -687,6 +701,8 @@ class Kernel:
         wrapped = UncaughtThreadError(thread.name, error)
         if thread.joiner is not None:
             joiner = thread.joiner
+            if self.race_detector is not None:
+                self.race_detector.on_join(joiner, thread)
             joiner.pending_throw = wrapped
             self.scheduler.make_ready(joiner)
         else:
@@ -768,12 +784,16 @@ class Kernel:
     def _channel_post(self, channel: Channel, item: Any) -> None:
         self.stats.channel_posts += 1
         self.tracer.record(self.now, instr.CAT_CHANNEL, "post", "-", channel.name)
+        if self.race_detector is not None:
+            self.race_detector.on_channel_post(channel)
         if channel.waiters:
             waiter = channel.waiters.popleft()
             waiter.wait_epoch += 1  # invalidate any receive timeout
             waiter.pending_send = item
             channel.receives += 1
             self.stats.channel_receives += 1
+            if self.race_detector is not None:
+                self.race_detector.on_channel_receive(waiter, channel)
             self.scheduler.make_ready(waiter)
         else:
             channel.items.append(item)
@@ -827,6 +847,8 @@ class Kernel:
         target.joined = True
         self.stats.joins += 1
         if not target.alive:
+            if self.race_detector is not None:
+                self.race_detector.on_join(thread, target)
             if target.error is not None:
                 thread.pending_throw = UncaughtThreadError(target.name, target.error)
             else:
@@ -924,16 +946,24 @@ class Kernel:
     def _h_mem_write(self, cpu: Cpu, thread: SimThread, trap: MemWrite) -> _Outcome:
         self._vars_seen[trap.var.uid] = trap.var
         self.memory.store(trap.var, trap.value, cpu.index, self.now)
+        if self.race_detector is not None:
+            # The detector sees the access with the thread's current
+            # holding-lockset (thread.held_monitors) attached.
+            self.race_detector.on_write(thread, trap.var, self.now)
         thread.pending_send = None
         return _Outcome.CONTINUE
 
     def _h_mem_read(self, cpu: Cpu, thread: SimThread, trap: MemRead) -> _Outcome:
         self._vars_seen[trap.var.uid] = trap.var
         thread.pending_send = self.memory.load(trap.var, cpu.index, self.now)
+        if self.race_detector is not None:
+            self.race_detector.on_read(thread, trap.var, self.now)
         return _Outcome.CONTINUE
 
     def _h_fence(self, cpu: Cpu, thread: SimThread, trap: Fence) -> _Outcome:
         self._fence(cpu)
+        if self.race_detector is not None:
+            self.race_detector.on_fence(thread)
         thread.pending_send = None
         return _Outcome.CONTINUE
 
@@ -960,6 +990,8 @@ class Kernel:
         if monitor.owner is None:
             monitor.owner = thread
             thread.held_monitors.append(monitor)
+            if self.race_detector is not None:
+                self.race_detector.on_acquire(thread, monitor)
             thread.pending_send = None
             if self.config.monitor_overhead:
                 thread.pending_compute += self.config.monitor_overhead
@@ -1004,6 +1036,8 @@ class Kernel:
             )
         thread.held_monitors.remove(monitor)
         self.stats.ml_exits += 1
+        if self.race_detector is not None:
+            self.race_detector.on_release(thread, monitor)
         if monitor.boost_restore is not None:
             # Inheritance ablation: drop back to the pre-boost priority.
             thread.priority = monitor.boost_restore
@@ -1051,6 +1085,8 @@ class Kernel:
         self.tracer.record(self.now, instr.CAT_CV, "wait", thread.name, cv.name)
         # Atomically release the monitor...
         thread.held_monitors.remove(monitor)
+        if self.race_detector is not None:
+            self.race_detector.on_release(thread, monitor)
         self._hand_off_monitor(monitor)
         # ...and sleep on the condition.
         thread.wake_was_notify = False
@@ -1068,6 +1104,8 @@ class Kernel:
         cv.notifies += 1
         self.stats.cv_notifies += 1
         self.tracer.record(self.now, instr.CAT_CV, "notify", thread.name, cv.name)
+        if self.race_detector is not None:
+            self.race_detector.on_notify(thread, cv)
         wake = 1
         if (
             self.config.notify_wakes == WAKES_AT_LEAST_ONE
@@ -1086,6 +1124,8 @@ class Kernel:
         cv.broadcasts += 1
         self.stats.cv_broadcasts += 1
         self.tracer.record(self.now, instr.CAT_CV, "broadcast", thread.name, cv.name)
+        if self.race_detector is not None:
+            self.race_detector.on_notify(thread, cv)
         while cv.waiters:
             self._wake_cv_waiter(cv)
         thread.pending_send = None
@@ -1104,6 +1144,8 @@ class Kernel:
         waiter = cv.waiters.popleft()
         waiter.wait_epoch += 1  # cancels the pending timeout lazily
         waiter.wake_was_notify = True
+        if self.race_detector is not None:
+            self.race_detector.on_cv_wake(waiter, cv)
         waiter.stats.cv_notifies_received += 1
         self.stats.cv_wakeups += 1
         if self.config.notify_semantics == NOTIFY_DEFERRED:
@@ -1128,6 +1170,8 @@ class Kernel:
             thread.pending_send = channel.items.popleft()
             channel.receives += 1
             self.stats.channel_receives += 1
+            if self.race_detector is not None:
+                self.race_detector.on_channel_receive(thread, channel)
             return _Outcome.CONTINUE
         thread.wait_epoch += 1
         self._block_current(cpu, thread, ThreadState.RECEIVING, channel)

@@ -72,7 +72,11 @@ class MemorySystem:
         self.weak = config.memory_order == MEMORY_WEAK
         self._delay = max(1, config.store_buffer_delay)
         self._rng = rng
+        #: Fences that actually drained a store buffer.  Under strong
+        #: ordering every fence is a no-op and this stays 0.
         self.fences = 0
+        #: Every ``fence_cpu`` call, effective or not.
+        self.fence_requests = 0
         self.stores = 0
         self.loads = 0
         #: Loads that observed a value another CPU had already overwritten
@@ -114,10 +118,16 @@ class MemorySystem:
         With no var list we cannot enumerate all SimVars, so SimVar keeps
         pending stores and the kernel passes the registry of fenced vars;
         in practice the kernel registers every SimVar it has seen.
+
+        Only *effective* fences count in ``fences``: a fence under strong
+        ordering (or with no vars to drain) is a no-op and must not make a
+        strong-ordering run report nonzero fence work.  ``fence_requests``
+        counts every call regardless.
         """
-        self.fences += 1
+        self.fence_requests += 1
         if not self.weak or vars_touched is None:
             return
+        self.fences += 1
         for var in vars_touched:
             last_mine = -1
             for index, (_visible_at, writer_cpu, _value) in enumerate(var.pending):

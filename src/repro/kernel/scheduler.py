@@ -110,7 +110,14 @@ class Scheduler:
     def requeue_for_priority_change(
         self, thread: SimThread, new_priority: int
     ) -> None:
-        """Move a READY thread between queues when its priority changes."""
+        """Move a READY thread between queues when its priority changes.
+
+        A same-priority "change" is a no-op: removing and re-appending
+        would silently send the thread to the back of its round-robin
+        queue, reordering it behind peers it was ahead of.
+        """
+        if new_priority == thread.priority:
+            return
         self.unready(thread)
         thread.priority = new_priority
         self._queues[new_priority].append(thread)  # state stays READY
@@ -173,29 +180,40 @@ class Scheduler:
     def _take_by_lottery(self) -> SimThread | None:
         """Fair share: pick a ready thread with probability proportional
         to 2^(priority-1) tickets (deterministic seeded lottery)."""
-        ready = self.ready_threads()
+        winner = self._lottery_pick(self.ready_threads())
+        if winner is not None:
+            self._queues[winner.priority].remove(winner)
+        return winner
+
+    def _lottery_pick(self, ready: list[SimThread]) -> SimThread | None:
+        """The fair-share ticket draw over ``ready`` (no queue mutation)."""
         if not ready:
             return None
         if len(ready) == 1 or self.rng is None:
-            winner = ready[0]
-        else:
-            tickets = [1 << (t.priority - 1) for t in ready]
-            draw = self.rng.randint(1, sum(tickets))
-            cumulative = 0
-            winner = ready[-1]
-            for thread, ticket_count in zip(ready, tickets):
-                cumulative += ticket_count
-                if draw <= cumulative:
-                    winner = thread
-                    break
-        self._queues[winner.priority].remove(winner)
+            return ready[0]
+        tickets = [1 << (t.priority - 1) for t in ready]
+        draw = self.rng.randint(1, sum(tickets))
+        cumulative = 0
+        winner = ready[-1]
+        for thread, ticket_count in zip(ready, tickets):
+            cumulative += ticket_count
+            if draw <= cumulative:
+                winner = thread
+                break
         return winner
 
     def peek_best_other(self, exclude: SimThread) -> SimThread | None:
-        """The highest-priority ready thread that is not ``exclude``.
+        """The ready thread a YieldButNotToMe donation should go to.
 
-        Implements the selection rule of YieldButNotToMe.
+        Routed through the active policy: strict priority picks the
+        highest-priority *other* ready thread; fair share runs the same
+        ticket lottery dispatch would use, restricted to the other ready
+        threads — a strict-priority scan here would contradict the
+        lottery the donee is otherwise chosen by.
         """
+        if self.policy == "fair_share":
+            others = [t for t in self.ready_threads() if t is not exclude]
+            return self._lottery_pick(others)
         for prio in range(MAX_PRIORITY, MIN_PRIORITY - 1, -1):
             for thread in self._queues[prio]:
                 if thread is not exclude:

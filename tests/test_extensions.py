@@ -94,7 +94,6 @@ class TestFairShareScheduler:
 
     def test_fair_share_gives_low_priority_a_share(self):
         kernel = Kernel(KernelConfig(scheduler_policy="fair_share", seed=1))
-        cpu_time = {}
 
         def grinder(tag):
             while True:

@@ -58,7 +58,7 @@ class TestWorkerPool:
         # The GVX shape Table 3 reflects: distinct CVs stay tiny because
         # whole pools share one.
         kernel = make_kernel()
-        pool = self._pool(kernel, workers=5)
+        self._pool(kernel, workers=5)
         kernel.run_for(sec(1))
         assert len(kernel.stats.cvs_used) == 1
         kernel.shutdown()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.kernel import Kernel, KernelConfig, SimVar, msec, sec, usec
 from repro.kernel import primitives as p
-from repro.kernel.instrumentation import ALL_CATEGORIES, Tracer
+from repro.kernel.instrumentation import Tracer
 from repro.kernel.memory import MemorySystem
 from repro.kernel.rng import DeterministicRng
 from repro.kernel.stats import WindowStats
@@ -210,6 +210,42 @@ class TestMemoryModelUnit:
         memory.store(var, 1, cpu_index=0, now=0)
         memory.fence_cpu(0, [var])
         assert memory.load(var, cpu_index=1, now=0) == 1
+
+    def test_fence_counts_effective_fences_only(self):
+        # Regression: fence_cpu used to bump ``fences`` before its early
+        # return, so strong-ordering runs reported nonzero fence work.
+        strong = self._memory("strong")
+        var = SimVar("x", initial=0)
+        strong.fence_cpu(0, [var])
+        assert strong.fences == 0
+        assert strong.fence_requests == 1
+
+        weak = self._memory("weak")
+        weak.fence_cpu(0, None)  # nothing to drain: request, not a fence
+        weak.fence_cpu(0, [var])  # effective
+        assert weak.fences == 1
+        assert weak.fence_requests == 2
+
+    def test_strong_run_with_fence_traps_reports_zero_fences(self):
+        def body(var):
+            yield p.MemWrite(var, 1)
+            yield p.Fence()
+            yield p.Fence()
+
+        strong = make_kernel(memory_order="strong")
+        strong.fork_root(body, (SimVar("x", initial=0),), name="fencer")
+        strong.run_for(msec(1))
+        # Strong ordering never reaches the memory system at all.
+        assert strong.memory.fences == 0
+        assert strong.memory.fence_requests == 0
+        strong.shutdown()
+
+        weak = make_kernel(memory_order="weak")
+        weak.fork_root(body, (SimVar("x", initial=0),), name="fencer")
+        weak.run_for(msec(1))
+        assert weak.memory.fences == 2
+        assert weak.memory.fence_requests == 2
+        weak.shutdown()
 
     def test_coherence_old_value_never_resurfaces(self):
         memory = self._memory("weak")

@@ -7,7 +7,6 @@ from repro.kernel import (
     Kernel,
     KernelConfig,
     KernelUsageError,
-    ThreadState,
     msec,
     sec,
     usec,
@@ -316,6 +315,21 @@ class TestRunBoundaries:
         )
         kernel.run_for(sec(1))
         assert fired == [msec(100), msec(200), msec(300)]
+        kernel.shutdown()
+
+    def test_zero_cost_yield_loop_raises_instead_of_hanging(self):
+        # Regression for the livelock guard: with switch_cost=0 a thread
+        # yielding in a tight loop never advances simulated time.  The
+        # kernel must diagnose this, not spin the host CPU forever.
+        kernel = make_kernel(switch_cost=0)
+
+        def spinner():
+            while True:
+                yield p.Yield()
+
+        kernel.fork_root(spinner)
+        with pytest.raises(KernelUsageError, match="livelock"):
+            kernel.run_for(msec(1))
         kernel.shutdown()
 
     def test_shutdown_is_idempotent(self):

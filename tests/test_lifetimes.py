@@ -1,6 +1,6 @@
 """Lifetime analysis unit tests."""
 
-from repro.analysis.lifetimes import LifetimeReport, analyse, is_well_under_a_second
+from repro.analysis.lifetimes import analyse, is_well_under_a_second
 from repro.kernel.simtime import msec, sec
 
 

@@ -17,7 +17,7 @@ from repro.paradigms.encapsulated import (
     periodical_fork,
 )
 from repro.paradigms.exploit import parallel_map, serial_map
-from repro.paradigms.oneshot import ARMED, GUARDED, GuardedButton, one_shot
+from repro.paradigms.oneshot import GUARDED, GuardedButton, one_shot
 from repro.paradigms.pump import Pump
 from repro.paradigms.rejuvenate import RejuvenatingDispatcher, rejuvenating
 from repro.paradigms.serializer import CoalescingSerializer, MBQueue
@@ -91,7 +91,6 @@ class TestDeferWork:
         # The notifier (priority 7) must pick up each event immediately
         # even while a forked worker still grinds at priority 3.
         kernel = make_kernel()
-        pickup_times = []
 
         def handler_factory(event):
             def handler():
@@ -101,8 +100,6 @@ class TestDeferWork:
 
         keyboard = kernel.channel("keyboard")
         notifier = CriticalEventLoop(keyboard, handler_factory, worker_priority=3)
-
-        original_proc = notifier.proc
 
         kernel.fork_root(notifier.proc, name="Notifier", priority=7)
         kernel.post_at(msec(10), lambda k: keyboard.post("a"))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.kernel import Kernel, KernelConfig, UncaughtThreadError, msec, sec, usec
+from repro.kernel import Kernel, KernelConfig, msec, sec, usec
 from repro.kernel import primitives as p
 from repro.sync.latch import Latch, TimeoutExpired
 from repro.sync.once import Once, RacyOnce

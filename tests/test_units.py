@@ -12,6 +12,7 @@ from repro.kernel.errors import (
     SimThreadError,
     UncaughtThreadError,
 )
+from repro.kernel.rng import DeterministicRng
 from repro.kernel.scheduler import Scheduler
 from repro.kernel.simtime import fmt_time, msec, per_second, sec, usec
 from repro.kernel.thread import SimThread, ThreadState
@@ -105,6 +106,41 @@ class TestSchedulerUnit:
         scheduler.requeue_for_priority_change(a, 6)
         assert a.priority == 6
         assert scheduler.take_next(scheduler.cpus[0]) is a
+
+    def test_requeue_same_priority_keeps_round_robin_position(self):
+        # Regression: a "change" to the thread's current priority used to
+        # remove and re-append it, sending it behind same-priority peers.
+        scheduler = Scheduler(1)
+        a, b, c = _thread(1), _thread(2), _thread(3)
+        for thread in (a, b, c):
+            scheduler.make_ready(thread)
+        scheduler.requeue_for_priority_change(a, a.priority)
+        cpu = scheduler.cpus[0]
+        assert [scheduler.take_next(cpu) for _ in range(3)] == [a, b, c]
+
+    def test_peek_best_other_fair_share_routes_through_lottery(self):
+        # Regression: peek_best_other always scanned strict-priority order,
+        # so a fair-share donation always went to the top-priority thread
+        # even though dispatch itself is a ticket lottery.
+        scheduler = Scheduler(
+            1, policy="fair_share", rng=DeterministicRng(0).fork("scheduler")
+        )
+        caller = _thread(1, priority=4)
+        high, low = _thread(2, priority=6), _thread(3, priority=1)
+        scheduler.make_ready(caller)
+        scheduler.make_ready(high)
+        scheduler.make_ready(low)
+        picks = {scheduler.peek_best_other(caller) for _ in range(400)}
+        assert caller not in picks  # never donate to yourself
+        assert picks == {high, low}  # low priority still wins some draws
+
+    def test_peek_best_other_strict_ignores_rng(self):
+        # Strict policy keeps the pre-knob behaviour even with an rng set.
+        scheduler = Scheduler(1, rng=DeterministicRng(0).fork("scheduler"))
+        a, b = _thread(1, priority=5), _thread(2, priority=3)
+        scheduler.make_ready(a)
+        scheduler.make_ready(b)
+        assert all(scheduler.peek_best_other(b) is a for _ in range(20))
 
     def test_clear_donations(self):
         scheduler = Scheduler(2)
