@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench tables census races quick all
+.PHONY: install test lint bench bench-perf golden tables census races quick all
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,6 +13,15 @@ lint:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Wall-clock cost of the simulator itself; writes BENCH_kernel_perf.json
+# with improvement ratios against the pinned pre-optimisation baseline.
+bench-perf:
+	PYTHONPATH=src python benchmarks/bench_kernel_perf.py
+
+# The golden-schedule determinism guard on its own.
+golden:
+	PYTHONPATH=src python -m pytest tests/test_golden_schedule.py -q
 
 tables:
 	python -m repro tables

@@ -1,0 +1,28 @@
+"""Regenerate the pinned golden-schedule hashes.
+
+Run only for *intentional* behaviour changes (a scheduling or accounting
+bugfix); never to paper over a non-behaviour-preserving optimisation.
+
+    PYTHONPATH=src:. python scripts/update_golden_schedule.py
+"""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(ROOT), str(ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+
+def main() -> None:
+    from tests.test_golden_schedule import GOLDEN_PATH, regenerate_golden
+
+    golden = regenerate_golden()
+    for name, digest in sorted(golden.items()):
+        print(f"{name}: {digest['events']} events, trace={digest['trace'][:12]}…")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

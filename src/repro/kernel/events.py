@@ -47,10 +47,14 @@ class EventHeap:
 
     def next_time(self) -> int | None:
         """The time of the earliest pending event, or None if empty."""
+        heap = self._heap
+        if not self._cancelled:
+            # Hot path: nothing cancelled, so the heap head is live.
+            return heap[0][0] if heap else None
         self._drop_cancelled()
-        if not self._heap:
+        if not heap:
             return None
-        return self._heap[0][0]
+        return heap[0][0]
 
     def pop_due(self, now: int) -> list[EventAction]:
         """Remove and return every action scheduled at or before ``now``.

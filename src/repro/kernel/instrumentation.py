@@ -82,6 +82,15 @@ class Tracer:
             return
         self._events.append(TraceEvent(time, category, kind, thread, detail))
 
+    def wants(self, category: str) -> bool:
+        """Whether ``record`` would keep events of this category.
+
+        The kernel precomputes one flag per hot category at construction
+        so disabled-trace runs never build ``record`` arguments on the
+        dispatch/offcpu/enter/exit/tick paths.
+        """
+        return self.enabled and category in self._categories
+
     @property
     def events(self) -> list[TraceEvent]:
         return self._events

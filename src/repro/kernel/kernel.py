@@ -146,6 +146,20 @@ class Kernel:
         )
         self.events = EventHeap()
         self.tracer = Tracer(self.config.trace, self.config.trace_categories)
+        # Per-category trace flags, precomputed so hot paths skip even
+        # argument construction when a category is off (the common case:
+        # tracing disabled entirely).  The golden-schedule tests pin that
+        # traced runs still record the identical event stream.
+        tracer = self.tracer
+        self._trace_switch = tracer.wants(instr.CAT_SWITCH)
+        self._trace_tick = tracer.wants(instr.CAT_TICK)
+        self._trace_monitor = tracer.wants(instr.CAT_MONITOR)
+        self._trace_cv = tracer.wants(instr.CAT_CV)
+        self._trace_yield = tracer.wants(instr.CAT_YIELD)
+        self._trace_sleep = tracer.wants(instr.CAT_SLEEP)
+        self._trace_channel = tracer.wants(instr.CAT_CHANNEL)
+        self._trace_fork = tracer.wants(instr.CAT_FORK)
+        self._trace_end = tracer.wants(instr.CAT_END)
         self.stats = GlobalStats()
         self.threads: dict[int, SimThread] = {}
         self._tid_counter = itertools.count(1)
@@ -253,6 +267,8 @@ class Kernel:
         if period <= 0:
             raise ValueError("period must be positive")
         first = start if start is not None else self.now + period
+        if until is not None and first > until:
+            return  # ``until`` bounds every firing, including the first
 
         def recur(kernel: "Kernel") -> None:
             action(kernel)
@@ -313,6 +329,13 @@ class Kernel:
                 _drain_close(thread.body)
                 thread.state = ThreadState.DONE
                 thread.ended_at = self.now
+                # Reconcile the live-thread accounting so post-shutdown
+                # snapshots balance (created == finished + live, stacks
+                # returned), but keep force-killed threads out of
+                # ``lifetimes`` — they did not end naturally.
+                self.stats.threads_finished += 1
+                self.stats.live_threads -= 1
+                self.stats.stack_bytes -= self.config.stack_reservation
         self.pending_thread_errors.clear()
         self._finalizer.detach()  # explicit shutdown supersedes GC cleanup
         _LIVE_KERNELS.discard(self)
@@ -328,20 +351,22 @@ class Kernel:
     # ------------------------------------------------------------------
 
     def _next_time(self) -> int | None:
-        """The next instant at which anything can happen."""
-        candidates: list[int] = []
-        heap_next = self.events.next_time()
-        if heap_next is not None:
-            candidates.append(heap_next)
+        """The next instant at which anything can happen.
+
+        Runs once per kernel-loop iteration, so it tracks the minimum
+        directly instead of building a candidate list each time.
+        """
+        t_next = self.events.next_time()
         for cpu in self.scheduler.cpus:
-            if cpu.busy_until is not None:
-                candidates.append(cpu.busy_until)
+            busy_until = cpu.busy_until
+            if busy_until is not None and (t_next is None or busy_until < t_next):
+                t_next = busy_until
         if self._tick_needed():
             quantum = self.config.quantum
-            candidates.append((self.now // quantum + 1) * quantum)
-        if not candidates:
-            return None
-        return min(candidates)
+            tick = (self.now // quantum + 1) * quantum
+            if t_next is None or tick < t_next:
+                t_next = tick
+        return t_next
 
     def _tick_needed(self) -> bool:
         """Ticks matter only when a timeout can fire or rotation/donation
@@ -359,7 +384,8 @@ class Kernel:
     def _on_tick(self) -> None:
         """Scheduler tick: expire donations, fire timeouts, round-robin."""
         self.stats.ticks += 1
-        self.tracer.record(self.now, instr.CAT_TICK, "tick", "-")
+        if self._trace_tick:
+            self.tracer.record(self.now, instr.CAT_TICK, "tick", "-")
         self.scheduler.clear_donations()
         self._wake_due_timed()
         fair_share = self.scheduler.policy == "fair_share"
@@ -387,12 +413,21 @@ class Kernel:
             elif kind == "sleep":
                 thread.pending_send = None
                 self.scheduler.make_ready(thread)
-                self.tracer.record(self.now, instr.CAT_SLEEP, "wake", thread.name)
+                if self._trace_sleep:
+                    self.tracer.record(
+                        self.now, instr.CAT_SLEEP, "wake", thread.name
+                    )
             elif kind == "channel":
                 channel: Channel = thread.blocked_on
                 channel.waiters.remove(thread)
+                self.stats.channel_timeouts += 1
                 thread.pending_send = None
                 self.scheduler.make_ready(thread)
+                if self._trace_channel:
+                    self.tracer.record(
+                        self.now, instr.CAT_CHANNEL, "timeout",
+                        thread.name, channel.name,
+                    )
             else:  # pragma: no cover - exhaustive kinds
                 raise AssertionError(f"unknown timed-wait kind {kind!r}")
 
@@ -406,7 +441,10 @@ class Kernel:
         thread.pending_send = False  # WAIT returns False on timeout
         thread.resume_action = ("reacquire", cv.monitor, False)
         self.scheduler.make_ready(thread)
-        self.tracer.record(self.now, instr.CAT_CV, "timeout", thread.name, cv.name)
+        if self._trace_cv:
+            self.tracer.record(
+                self.now, instr.CAT_CV, "timeout", thread.name, cv.name
+            )
 
     def _dispatch_idle_cpus(self) -> None:
         if self.now != self._instant:
@@ -442,9 +480,10 @@ class Kernel:
                 thread.pending_compute += self.config.switch_cost
         # Traced for every dispatch (not just switches) so consumers can
         # pair each dispatch with its offcpu event.
-        self.tracer.record(
-            self.now, instr.CAT_SWITCH, "dispatch", thread.name, cpu.index
-        )
+        if self._trace_switch:
+            self.tracer.record(
+                self.now, instr.CAT_SWITCH, "dispatch", thread.name, cpu.index
+            )
         cpu.current = thread
         cpu.last_thread = thread
         thread.last_dispatched = self.now
@@ -470,6 +509,11 @@ class Kernel:
         if thread.resume_action is not None:
             if not self._attempt_reacquire(cpu, thread):
                 return  # blocked on the monitor entry queue
+            if thread.pending_compute > 0:
+                # Reacquisition charged monitor_overhead: burn it first.
+                cpu.burst_start = self.now
+                cpu.busy_until = self.now + thread.pending_compute
+                return
         self._resume(cpu, thread)
 
     def _attempt_reacquire(self, cpu: Cpu, thread: SimThread) -> bool:
@@ -487,13 +531,19 @@ class Kernel:
             thread.held_monitors.append(monitor)
             if self.race_detector is not None:
                 self.race_detector.on_acquire(thread, monitor)
+            # Charge the same lock-bookkeeping cost an uncontended Enter
+            # pays; without this a contended acquisition would be cheaper.
+            if self.config.monitor_overhead:
+                thread.pending_compute += self.config.monitor_overhead
             return True
         # The monitor is held: this trip through the scheduler was useless.
         if was_notify:
             self.stats.spurious_conflicts += 1
-            self.tracer.record(
-                self.now, instr.CAT_MONITOR, "spurious", thread.name, monitor.name
-            )
+            if self._trace_monitor:
+                self.tracer.record(
+                    self.now, instr.CAT_MONITOR, "spurious",
+                    thread.name, monitor.name,
+                )
         self._block_current(cpu, thread, ThreadState.BLOCKED_MONITOR, monitor)
         monitor.entry_queue.append(thread)
         return False
@@ -538,17 +588,24 @@ class Kernel:
             # CONTINUE: handle the next trap at the same instant.
 
     def _maybe_preempt(self, cpu: Cpu, thread: SimThread) -> bool:
-        """Strict-priority preemption, unless a donation pins the thread."""
-        if cpu.donee is thread:
+        """Strict-priority preemption, unless a donation pins the thread.
+
+        Called at the top of every ``_resume`` iteration — i.e. once per
+        trap — so the no-preemption fast path is a single comparison
+        against the scheduler's cached best-ready priority.
+        """
+        scheduler = self.scheduler
+        if scheduler.best_ready <= thread.priority:
             return False
-        if not self.scheduler.would_preempt(thread.priority):
+        if cpu.donee is thread or scheduler.policy == "fair_share":
             return False
         self.stats.preemptions += 1
         thread.stats.preemptions += 1
         self._off_cpu(cpu, thread)
         # Preempted threads keep their round-robin place: queue front.
-        self.scheduler.make_ready(thread, front=True)
-        self.tracer.record(self.now, instr.CAT_SWITCH, "preempt", thread.name)
+        scheduler.make_ready(thread, front=True)
+        if self._trace_switch:
+            self.tracer.record(self.now, instr.CAT_SWITCH, "preempt", thread.name)
         return True
 
     def _check_preemption(self) -> None:
@@ -568,7 +625,8 @@ class Kernel:
         thread.stats.preemptions += 1
         self._off_cpu(cpu, thread)
         self.scheduler.make_ready(thread, front=True)
-        self.tracer.record(self.now, instr.CAT_SWITCH, "preempt", thread.name)
+        if self._trace_switch:
+            self.tracer.record(self.now, instr.CAT_SWITCH, "preempt", thread.name)
 
     def _interrupt_burst(self, cpu: Cpu) -> None:
         """Account a partially-completed compute burst."""
@@ -588,7 +646,8 @@ class Kernel:
         self.stats.note_interval(interval, thread.priority)
         # A uniform leave-CPU marker so trace consumers can close run
         # spans regardless of *why* the thread left (block/yield/finish).
-        self.tracer.record(self.now, instr.CAT_SWITCH, "offcpu", thread.name)
+        if self._trace_switch:
+            self.tracer.record(self.now, instr.CAT_SWITCH, "offcpu", thread.name)
         cpu.current = None
         cpu.busy_until = None
         cpu.burst_start = None
@@ -656,10 +715,11 @@ class Kernel:
                 role=role,
             )
         )
-        self.tracer.record(
-            self.now, instr.CAT_FORK, "create", thread.name,
-            parent.name if parent else None,
-        )
+        if self._trace_fork:
+            self.tracer.record(
+                self.now, instr.CAT_FORK, "create", thread.name,
+                parent.name if parent else None,
+            )
         if self.race_detector is not None:
             self.race_detector.on_fork(parent, thread)
         return thread
@@ -681,7 +741,8 @@ class Kernel:
                 self.race_detector.on_join(joiner, thread)
             joiner.pending_send = value
             self.scheduler.make_ready(joiner)
-        self.tracer.record(self.now, instr.CAT_END, "finish", thread.name)
+        if self._trace_end:
+            self.tracer.record(self.now, instr.CAT_END, "finish", thread.name)
         self._release_fork_waiter()
 
     def _finish_error(self, cpu: Cpu, thread: SimThread, error: BaseException) -> None:
@@ -707,9 +768,10 @@ class Kernel:
             self.scheduler.make_ready(joiner)
         else:
             self.pending_thread_errors.append(wrapped)
-        self.tracer.record(
-            self.now, instr.CAT_END, "die", thread.name, repr(error)
-        )
+        if self._trace_end:
+            self.tracer.record(
+                self.now, instr.CAT_END, "die", thread.name, repr(error)
+            )
         self._release_fork_waiter()
 
     def _account_thread_end(self, thread: SimThread) -> None:
@@ -727,7 +789,8 @@ class Kernel:
         waiter, trap = self._fork_waiters.pop(0)
         child = self._create_thread(
             trap.proc, trap.args, trap.kwargs,
-            name=trap.name, priority=trap.priority or waiter.priority,
+            name=trap.name,
+            priority=trap.priority if trap.priority is not None else waiter.priority,
             parent=waiter, role=None, detached=trap.detached,
         )
         self.scheduler.make_ready(child)
@@ -783,7 +846,10 @@ class Kernel:
 
     def _channel_post(self, channel: Channel, item: Any) -> None:
         self.stats.channel_posts += 1
-        self.tracer.record(self.now, instr.CAT_CHANNEL, "post", "-", channel.name)
+        if self._trace_channel:
+            self.tracer.record(
+                self.now, instr.CAT_CHANNEL, "post", "-", channel.name
+            )
         if self.race_detector is not None:
             self.race_detector.on_channel_post(channel)
         if channel.waiters:
@@ -872,7 +938,8 @@ class Kernel:
         thread.pending_send = None
         self._off_cpu(cpu, thread)
         self.scheduler.make_ready(thread)
-        self.tracer.record(self.now, instr.CAT_YIELD, "yield", thread.name)
+        if self._trace_yield:
+            self.tracer.record(self.now, instr.CAT_YIELD, "yield", thread.name)
         return _Outcome.SUSPEND
 
     def _h_yield_but_not_to_me(
@@ -887,15 +954,18 @@ class Kernel:
         cpu.donee = other
         self._off_cpu(cpu, thread)
         self.scheduler.make_ready(thread)
-        self.tracer.record(
-            self.now, instr.CAT_YIELD, "yield-but-not-to-me", thread.name, other.name
-        )
+        if self._trace_yield:
+            self.tracer.record(
+                self.now, instr.CAT_YIELD, "yield-but-not-to-me",
+                thread.name, other.name,
+            )
         return _Outcome.SUSPEND
 
     def _h_directed_yield(
         self, cpu: Cpu, thread: SimThread, trap: DirectedYield
     ) -> _Outcome:
         self.stats.directed_yields += 1
+        thread.stats.yields += 1
         thread.pending_send = None
         target = trap.target
         if target.state is not ThreadState.READY:
@@ -903,17 +973,20 @@ class Kernel:
         cpu.donee = target
         self._off_cpu(cpu, thread)
         self.scheduler.make_ready(thread)
-        self.tracer.record(
-            self.now, instr.CAT_YIELD, "directed-yield", thread.name, target.name
-        )
+        if self._trace_yield:
+            self.tracer.record(
+                self.now, instr.CAT_YIELD, "directed-yield",
+                thread.name, target.name,
+            )
         return _Outcome.SUSPEND
 
     def _h_pause(self, cpu: Cpu, thread: SimThread, trap: Pause) -> _Outcome:
         self._block_current(cpu, thread, ThreadState.SLEEPING, "sleep")
         self._arm_timed(thread, self.now + trap.duration, "sleep")
-        self.tracer.record(
-            self.now, instr.CAT_SLEEP, "sleep", thread.name, trap.duration
-        )
+        if self._trace_sleep:
+            self.tracer.record(
+                self.now, instr.CAT_SLEEP, "sleep", thread.name, trap.duration
+            )
         return _Outcome.SUSPEND
 
     def _h_get_self(self, cpu: Cpu, thread: SimThread, trap: GetSelf) -> _Outcome:
@@ -984,9 +1057,10 @@ class Kernel:
         self.stats.ml_enters += 1
         thread.stats.monitor_enters += 1
         self.stats.monitors_used.add(monitor.uid)
-        self.tracer.record(
-            self.now, instr.CAT_MONITOR, "enter", thread.name, monitor.name
-        )
+        if self._trace_monitor:
+            self.tracer.record(
+                self.now, instr.CAT_MONITOR, "enter", thread.name, monitor.name
+            )
         if monitor.owner is None:
             monitor.owner = thread
             thread.held_monitors.append(monitor)
@@ -1010,9 +1084,10 @@ class Kernel:
         monitor.entry_queue.append(thread)
         if self.config.monitor_priority_inheritance:
             self._donate_priority(monitor, thread)
-        self.tracer.record(
-            self.now, instr.CAT_MONITOR, "block", thread.name, monitor.name
-        )
+        if self._trace_monitor:
+            self.tracer.record(
+                self.now, instr.CAT_MONITOR, "block", thread.name, monitor.name
+            )
         return _Outcome.SUSPEND
 
     def _donate_priority(self, monitor: Any, blocker: SimThread) -> None:
@@ -1044,9 +1119,10 @@ class Kernel:
             monitor.boost_restore = None
         self._fence(cpu)
         self._hand_off_monitor(monitor)
-        self.tracer.record(
-            self.now, instr.CAT_MONITOR, "exit", thread.name, monitor.name
-        )
+        if self._trace_monitor:
+            self.tracer.record(
+                self.now, instr.CAT_MONITOR, "exit", thread.name, monitor.name
+            )
         thread.pending_send = None
         if self.config.monitor_overhead:
             thread.pending_compute += self.config.monitor_overhead
@@ -1082,7 +1158,10 @@ class Kernel:
         self.stats.cv_waits += 1
         thread.stats.cv_waits += 1
         self.stats.cvs_used.add(cv.uid)
-        self.tracer.record(self.now, instr.CAT_CV, "wait", thread.name, cv.name)
+        if self._trace_cv:
+            self.tracer.record(
+                self.now, instr.CAT_CV, "wait", thread.name, cv.name
+            )
         # Atomically release the monitor...
         thread.held_monitors.remove(monitor)
         if self.race_detector is not None:
@@ -1103,7 +1182,10 @@ class Kernel:
         self._require_monitor_for_cv(thread, cv, "NOTIFY")
         cv.notifies += 1
         self.stats.cv_notifies += 1
-        self.tracer.record(self.now, instr.CAT_CV, "notify", thread.name, cv.name)
+        if self._trace_cv:
+            self.tracer.record(
+                self.now, instr.CAT_CV, "notify", thread.name, cv.name
+            )
         if self.race_detector is not None:
             self.race_detector.on_notify(thread, cv)
         wake = 1
@@ -1123,7 +1205,10 @@ class Kernel:
         self._require_monitor_for_cv(thread, cv, "BROADCAST")
         cv.broadcasts += 1
         self.stats.cv_broadcasts += 1
-        self.tracer.record(self.now, instr.CAT_CV, "broadcast", thread.name, cv.name)
+        if self._trace_cv:
+            self.tracer.record(
+                self.now, instr.CAT_CV, "broadcast", thread.name, cv.name
+            )
         if self.race_detector is not None:
             self.race_detector.on_notify(thread, cv)
         while cv.waiters:

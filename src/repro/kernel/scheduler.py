@@ -77,9 +77,38 @@ class Scheduler:
         self._queues: dict[int, deque[SimThread]] = {
             prio: deque() for prio in range(MIN_PRIORITY, MAX_PRIORITY + 1)
         }
+        #: Bit ``p`` set iff the priority-``p`` ready queue is nonempty.
+        self._nonempty_mask = 0
+        #: Incremental total of ready threads across all queues.
+        self._ready_count = 0
+        #: Highest nonempty priority, or 0 when nothing is ready.  Cached
+        #: so the per-trap preemption check is a single integer compare.
+        self.best_ready = 0
         self.cpus = [Cpu(i) for i in range(ncpus)]
         self.policy = policy
         self.rng = rng
+
+    # -- ready-queue bookkeeping -------------------------------------------
+    #
+    # Every queue mutation goes through these two helpers (or repeats
+    # their bodies inline) so the mask / count / best_ready cache always
+    # agrees with the queues.  The O(1) queries below depend on it.
+
+    def _note_added(self, queue: deque, priority: int) -> None:
+        self._ready_count += 1
+        if len(queue) == 1:
+            self._nonempty_mask |= 1 << priority
+            if priority > self.best_ready:
+                self.best_ready = priority
+
+    def _note_removed(self, queue: deque, priority: int) -> None:
+        self._ready_count -= 1
+        if not queue:
+            mask = self._nonempty_mask & ~(1 << priority)
+            self._nonempty_mask = mask
+            if priority == self.best_ready:
+                # bit_length()-1 is the highest set bit == best priority.
+                self.best_ready = mask.bit_length() - 1 if mask else 0
 
     # -- ready-queue management ------------------------------------------
 
@@ -98,6 +127,7 @@ class Scheduler:
             queue.appendleft(thread)
         else:
             queue.append(thread)
+        self._note_added(queue, thread.priority)
 
     def unready(self, thread: SimThread) -> None:
         """Remove a thread from the ready queues (e.g. external kill)."""
@@ -106,6 +136,7 @@ class Scheduler:
             queue.remove(thread)
         except ValueError:
             raise AssertionError(f"{thread!r} not on ready queue") from None
+        self._note_removed(queue, thread.priority)
 
     def requeue_for_priority_change(
         self, thread: SimThread, new_priority: int
@@ -120,26 +151,28 @@ class Scheduler:
             return
         self.unready(thread)
         thread.priority = new_priority
-        self._queues[new_priority].append(thread)  # state stays READY
+        queue = self._queues[new_priority]
+        queue.append(thread)  # state stays READY
+        self._note_added(queue, new_priority)
 
     # -- queries -----------------------------------------------------------
 
     def highest_ready_priority(self) -> int | None:
         """Priority of the best ready thread, or None if none ready."""
-        for prio in range(MAX_PRIORITY, MIN_PRIORITY - 1, -1):
-            if self._queues[prio]:
-                return prio
-        return None
+        return self.best_ready or None
 
     def ready_count(self) -> int:
-        return sum(len(q) for q in self._queues.values())
+        return self._ready_count
 
     def ready_threads(self) -> list[SimThread]:
         """All ready threads, best priority first (round-robin order
         within a level).  Used by the SystemDaemon's random choice."""
         threads: list[SimThread] = []
-        for prio in range(MAX_PRIORITY, MIN_PRIORITY - 1, -1):
+        mask = self._nonempty_mask
+        while mask:
+            prio = mask.bit_length() - 1
             threads.extend(self._queues[prio])
+            mask ^= 1 << prio
         return threads
 
     def would_preempt(self, running_priority: int) -> bool:
@@ -152,8 +185,7 @@ class Scheduler:
         """
         if self.policy == "fair_share":
             return False
-        best = self.highest_ready_priority()
-        return best is not None and best > running_priority
+        return self.best_ready > running_priority
 
     # -- dispatch ----------------------------------------------------------
 
@@ -165,24 +197,30 @@ class Scheduler:
         if cpu.donee is not None:
             donee = cpu.donee
             if donee.state is ThreadState.READY:
-                self._queues[donee.priority].remove(donee)
+                queue = self._queues[donee.priority]
+                queue.remove(donee)
+                self._note_removed(queue, donee.priority)
                 return donee
             # Donee ran and blocked, or was never ready: donation is spent.
             cpu.donee = None
         if self.policy == "fair_share":
             return self._take_by_lottery()
-        for prio in range(MAX_PRIORITY, MIN_PRIORITY - 1, -1):
-            queue = self._queues[prio]
-            if queue:
-                return queue.popleft()
-        return None
+        best = self.best_ready
+        if not best:
+            return None
+        queue = self._queues[best]
+        thread = queue.popleft()
+        self._note_removed(queue, best)
+        return thread
 
     def _take_by_lottery(self) -> SimThread | None:
         """Fair share: pick a ready thread with probability proportional
         to 2^(priority-1) tickets (deterministic seeded lottery)."""
         winner = self._lottery_pick(self.ready_threads())
         if winner is not None:
-            self._queues[winner.priority].remove(winner)
+            queue = self._queues[winner.priority]
+            queue.remove(winner)
+            self._note_removed(queue, winner.priority)
         return winner
 
     def _lottery_pick(self, ready: list[SimThread]) -> SimThread | None:
@@ -214,10 +252,13 @@ class Scheduler:
         if self.policy == "fair_share":
             others = [t for t in self.ready_threads() if t is not exclude]
             return self._lottery_pick(others)
-        for prio in range(MAX_PRIORITY, MIN_PRIORITY - 1, -1):
+        mask = self._nonempty_mask
+        while mask:
+            prio = mask.bit_length() - 1
             for thread in self._queues[prio]:
                 if thread is not exclude:
                     return thread
+            mask ^= 1 << prio
         return None
 
     def clear_donations(self) -> None:

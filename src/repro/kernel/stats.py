@@ -62,6 +62,7 @@ class GlobalStats:
         self.spurious_conflicts = 0
         self.channel_posts = 0
         self.channel_receives = 0
+        self.channel_timeouts = 0
         self.threads_created = 0
         self.threads_finished = 0
         self.live_threads = 0
@@ -110,6 +111,7 @@ class GlobalStats:
             cv_notifies=self.cv_notifies,
             cv_wakeups=self.cv_wakeups,
             spurious_conflicts=self.spurious_conflicts,
+            channel_timeouts=self.channel_timeouts,
             threads_created=self.threads_created,
             threads_finished=self.threads_finished,
             exec_interval_index=len(self.exec_intervals),
@@ -136,6 +138,7 @@ class Snapshot:
     cv_notifies: int
     cv_wakeups: int
     spurious_conflicts: int
+    channel_timeouts: int
     threads_created: int
     threads_finished: int
     exec_interval_index: int

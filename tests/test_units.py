@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.kernel import Kernel
+from repro.kernel import primitives as p
 from repro.kernel.config import KernelConfig
 from repro.kernel.errors import (
     Deadlock,
@@ -214,3 +216,44 @@ class TestThreadUnit:
         assert thread.lifetime is None
         thread.ended_at = 500
         assert thread.lifetime == 500
+
+
+class TestYieldThreadStats:
+    """All three yield flavours must count in the yielder's per-thread
+    stats, not just the global counters (DirectedYield regression)."""
+
+    def _run_yielder(self, flavour):
+        kernel = Kernel(KernelConfig(switch_cost=0, monitor_overhead=0))
+
+        def target():
+            yield p.Compute(usec(10))
+
+        def yielder():
+            handle = yield p.Fork(target, priority=2, detached=True)
+            if flavour == "yield":
+                yield p.Yield()
+            elif flavour == "ybntm":
+                yield p.YieldButNotToMe()
+            else:
+                yield p.DirectedYield(handle)
+            yield p.Compute(1)
+
+        thread = kernel.fork_root(yielder, priority=5)
+        kernel.run_for(msec(10))
+        return kernel, thread
+
+    def test_yield_counts_per_thread(self):
+        kernel, thread = self._run_yielder("yield")
+        assert thread.stats.yields == 1
+        assert kernel.stats.yields == 1
+
+    def test_yield_but_not_to_me_counts_per_thread(self):
+        kernel, thread = self._run_yielder("ybntm")
+        assert thread.stats.yields == 1
+        assert kernel.stats.yields == 1
+
+    def test_directed_yield_counts_per_thread(self):
+        kernel, thread = self._run_yielder("directed")
+        assert thread.stats.yields == 1
+        assert kernel.stats.directed_yields == 1
+        assert kernel.stats.yields == 0
