@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench bench-perf golden tables census races quick all
+.PHONY: install test lint bench bench-perf golden tables census races chaos quick all
 
 install:
 	pip install -e . --no-build-isolation
@@ -31,6 +31,11 @@ census:
 
 races:
 	python -m repro races
+
+# Seeded fault-injection sweep with the waits-for watchdog and invariant
+# checks; writes the JSON report (see docs/ROBUSTNESS.md).
+chaos:
+	PYTHONPATH=src python -m repro chaos --smoke --output chaos-report.json
 
 quick:
 	python examples/quickstart.py

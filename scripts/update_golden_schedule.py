@@ -16,12 +16,12 @@ for entry in (str(ROOT), str(ROOT / "src")):
 
 
 def main() -> None:
-    from tests.test_golden_schedule import GOLDEN_PATH, regenerate_golden
+    from repro.analysis.golden import default_golden_path, regenerate_golden
 
     golden = regenerate_golden()
     for name, digest in sorted(golden.items()):
         print(f"{name}: {digest['events']} events, trace={digest['trace'][:12]}…")
-    print(f"wrote {GOLDEN_PATH}")
+    print(f"wrote {default_golden_path()}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,544 @@
+"""Chaos sweep: workloads under sampled fault plans, with invariants.
+
+``python -m repro chaos`` runs the Cedar/GVX worlds and a set of
+synchronisation micro-scenarios under seeded :class:`FaultPlan`s — stolen
+NOTIFYs, spurious wakeups, feigned FORK failures, thread kills, timer
+jitter — with the waits-for watchdog on, and asserts the robustness
+invariants the paper's systems earned the hard way:
+
+* **No leaked monitor holds.**  Every monitor a live thread holds names
+  that thread as owner, and vice versa — even after injected kills,
+  because generator unwinding runs ``finally`` clauses.
+* **Stats reconcile.**  ``threads_created == threads_finished + live``,
+  and stack reservations track live threads exactly; after shutdown both
+  ``live_threads`` and ``stack_bytes`` are zero.
+* **Every partial deadlock is detected.**  After each run an independent
+  brute-force scan of the waits-for graph (straight from thread state,
+  sharing no bookkeeping with the watchdog) finds the cycles; each must
+  already be in the watchdog's reports.
+* **Directed deadlocks are found while the system lives.**  Two
+  scenarios wedge a thread pair on purpose — one via the §5.3
+  IF-instead-of-WHILE anti-pattern sprung by an injected spurious
+  wakeup, one via a plain ABBA lock cycle — and the sweep asserts the
+  watchdog reported exactly that cycle while an unrelated daemon kept
+  running.
+* **Faults off ≡ no faults.**  A plan with every rate at zero (plus the
+  watchdog) must reproduce the pinned golden schedule hashes exactly,
+  proving the injection seams are free when disarmed.
+
+The sweep is a pure function of its seed; the JSON report it writes is
+the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.analysis.faults import FaultPlan
+from repro.analysis.watchdog import waits_on
+from repro.kernel import Kernel, KernelConfig, msec, sec
+from repro.kernel import primitives as p
+from repro.kernel.primitives import Enter, Exit, Notify
+from repro.kernel.rng import DeterministicRng
+from repro.kernel.thread import ThreadState
+from repro.sync.condition import (
+    ConditionVariable,
+    await_condition,
+    await_condition_if_broken,
+)
+from repro.sync.monitor import Monitor
+from repro.workloads import build_cedar_world, build_gvx_world
+from repro.workloads.cedar import CEDAR_ACTIVITIES
+from repro.workloads.gvx import GVX_ACTIVITIES
+
+#: Simulated time per chaos run.
+CHAOS_RUN = sec(1)
+
+
+# ---------------------------------------------------------------------------
+# Fault-plan sampling
+# ---------------------------------------------------------------------------
+
+def sample_plan(rng: DeterministicRng, *, kills: bool = True) -> FaultPlan:
+    """Draw one fault plan from the sweep's sampling distribution."""
+    return FaultPlan(
+        drop_notify_prob=rng.choice([0.0, 0.05, 0.2]),
+        spurious_wakeup_prob=rng.choice([0.0, 0.05, 0.2]),
+        fork_fail_prob=rng.choice([0.0, 0.1]),
+        kill_thread_prob=rng.choice([0.0, 0.005, 0.02]) if kills else 0.0,
+        timer_jitter_prob=rng.choice([0.0, 0.3]),
+        timer_jitter_max=msec(20),
+        kill_immune=("SystemDaemon",),
+    )
+
+
+def plan_dict(plan: FaultPlan) -> dict:
+    return {
+        "drop_notify_prob": plan.drop_notify_prob,
+        "spurious_wakeup_prob": plan.spurious_wakeup_prob,
+        "fork_fail_prob": plan.fork_fail_prob,
+        "kill_thread_prob": plan.kill_thread_prob,
+        "timer_jitter_prob": plan.timer_jitter_prob,
+        "timer_jitter_max": plan.timer_jitter_max,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+# Each scenario builder takes a KernelConfig and returns
+# (kernel, shutdown_callable).  ``kill_safe`` marks workloads whose thread
+# bodies all release monitors through ``finally`` (so injected kills
+# unwind cleanly); kills are masked out of sampled plans elsewhere.
+
+def _world_scenario(builder, activities, activity):
+    def build(config: KernelConfig):
+        world, context = builder(config)
+        install = activities[activity]
+        if install is not None:
+            install(world, context)
+        return world.kernel, world.shutdown
+
+    return build
+
+
+def _producer_consumer(config: KernelConfig):
+    """The correct WAIT-in-a-loop idiom: survives every fault kind."""
+    kernel = Kernel(config)
+    lock = Monitor("chaos.pc")
+    nonempty = ConditionVariable(lock, "chaos.nonempty")
+    state = {"available": 0, "consumed": 0}
+
+    def consumer():
+        while state["consumed"] < 60:
+            yield Enter(lock)
+            try:
+                # The timeout bounds the damage of a stolen NOTIFY; the
+                # WHILE bounds the damage of a spurious wakeup.
+                yield from await_condition(
+                    nonempty, lambda: state["available"] > 0, timeout=msec(40)
+                )
+                if state["available"] > 0:
+                    state["available"] -= 1
+                    state["consumed"] += 1
+            finally:
+                yield Exit(lock)
+
+    def producer():
+        for _ in range(60):
+            yield Enter(lock)
+            try:
+                state["available"] += 1
+                yield Notify(nonempty)
+            finally:
+                yield Exit(lock)
+            yield p.Pause(msec(5))
+
+    kernel.fork_root(consumer, name="consumer", priority=5)
+    kernel.fork_root(producer, name="producer", priority=4)
+    return kernel, kernel.shutdown
+
+
+def _fork_churn(config: KernelConfig):
+    """Fork/join trees under feigned FORK failures and kills."""
+    kernel = Kernel(config)
+
+    def leaf(work):
+        yield p.Compute(work)
+
+    def spawner(depth):
+        children = []
+        for i in range(3):
+            child = yield p.Fork(leaf, args=(msec(1) * (i + 1),))
+            children.append(child)
+        if depth > 0:
+            sub = yield p.Fork(spawner, args=(depth - 1,))
+            children.append(sub)
+        for child in children:
+            try:
+                yield p.Join(child)
+            except Exception:
+                pass  # a killed child's death arrives at JOIN; survive it
+
+    def root():
+        for _ in range(6):
+            top = yield p.Fork(spawner, args=(1,))
+            try:
+                yield p.Join(top)
+            except Exception:
+                pass
+            yield p.Pause(msec(10))
+
+    kernel.fork_root(root, name="churn-root", priority=4)
+    return kernel, kernel.shutdown
+
+
+def _wait_if_deadlock(config: KernelConfig):
+    """Directed: an injected spurious wakeup springs the §5.3 IF-not-WHILE
+    anti-pattern into an ABBA monitor cycle, while a daemon keeps running.
+
+    The victim WAITs (untimed, IF-guarded) for ``ready``; the spurious
+    wake makes it proceed on a broken invariant and reach for a second
+    monitor held by its partner, which is about to reach for the first.
+    """
+    kernel = Kernel(config)
+    m_outer = Monitor("chaos.outer")
+    m_inner = Monitor("chaos.inner")
+    ready_cv = ConditionVariable(m_inner, "chaos.ready")
+    state = {"ready": False}
+
+    def victim():
+        yield Enter(m_inner)
+        # Anti-pattern: checks once, waits once, believes the wake.
+        yield from await_condition_if_broken(ready_cv, lambda: state["ready"])
+        yield Enter(m_outer)  # holds inner, wants outer -> half the cycle
+        yield Exit(m_outer)
+        yield Exit(m_inner)
+
+    def partner():
+        yield Enter(m_outer)
+        yield p.Pause(msec(400))  # outlive the spurious wake
+        yield Enter(m_inner)  # holds outer, wants inner -> cycle closed
+        yield Exit(m_inner)
+        yield Exit(m_outer)
+
+    def daemon():
+        while True:
+            yield p.Pause(msec(20))
+            yield p.Compute(msec(1))
+
+    kernel.fork_root(victim, name="victim", priority=4)
+    kernel.fork_root(partner, name="partner", priority=4)
+    kernel.fork_root(daemon, name="bystander", priority=3)
+    return kernel, kernel.shutdown
+
+
+#: The plan that springs ``_wait_if_deadlock``: one fault kind, certain.
+WAIT_IF_PLAN = FaultPlan(spurious_wakeup_prob=1.0)
+
+
+def _abba_deadlock(config: KernelConfig):
+    """Directed: a plain ABBA cycle (no faults needed), daemon running."""
+    kernel = Kernel(config)
+    m_a = Monitor("chaos.a")
+    m_b = Monitor("chaos.b")
+
+    def first():
+        yield Enter(m_a)
+        yield p.Pause(msec(10))
+        yield Enter(m_b)
+        yield Exit(m_b)
+        yield Exit(m_a)
+
+    def second():
+        yield Enter(m_b)
+        yield p.Pause(msec(10))
+        yield Enter(m_a)
+        yield Exit(m_a)
+        yield Exit(m_b)
+
+    def daemon():
+        while True:
+            yield p.Pause(msec(20))
+            yield p.Compute(msec(1))
+
+    kernel.fork_root(first, name="first", priority=4)
+    kernel.fork_root(second, name="second", priority=4)
+    kernel.fork_root(daemon, name="bystander", priority=3)
+    return kernel, kernel.shutdown
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    name: str
+    build: Callable[[KernelConfig], tuple]
+    #: All thread bodies release monitors via ``finally`` — injected
+    #: kills unwind cleanly, so the sweep may enable them.
+    kill_safe: bool = True
+    #: The scenario is engineered to wedge: the watchdog MUST report a
+    #: cycle, and a bystander thread must still be runnable.
+    expect_deadlock: bool = False
+    #: Fixed plan for directed scenarios (None -> sampled).
+    plan: FaultPlan | None = None
+
+
+SWEEP_SCENARIOS: tuple[ChaosScenario, ...] = (
+    ChaosScenario(
+        "cedar-idle",
+        _world_scenario(build_cedar_world, CEDAR_ACTIVITIES, "idle"),
+    ),
+    ChaosScenario(
+        "cedar-keyboard",
+        _world_scenario(build_cedar_world, CEDAR_ACTIVITIES, "keyboard"),
+    ),
+    ChaosScenario(
+        "cedar-formatting",
+        _world_scenario(build_cedar_world, CEDAR_ACTIVITIES, "formatting"),
+    ),
+    ChaosScenario(
+        "gvx-idle", _world_scenario(build_gvx_world, GVX_ACTIVITIES, "idle")
+    ),
+    ChaosScenario(
+        "gvx-keyboard",
+        _world_scenario(build_gvx_world, GVX_ACTIVITIES, "keyboard"),
+    ),
+    ChaosScenario("producer-consumer", _producer_consumer),
+    ChaosScenario("fork-churn", _fork_churn),
+)
+
+DIRECTED_SCENARIOS: tuple[ChaosScenario, ...] = (
+    ChaosScenario(
+        "wait-if-deadlock",
+        _wait_if_deadlock,
+        expect_deadlock=True,
+        plan=WAIT_IF_PLAN,
+    ),
+    ChaosScenario(
+        "abba-deadlock",
+        _abba_deadlock,
+        expect_deadlock=True,
+        plan=FaultPlan(),
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# Invariant checks
+# ---------------------------------------------------------------------------
+
+def _brute_force_cycles(kernel: Kernel) -> list[frozenset[int]]:
+    """Independent waits-for cycle scan, sharing no state with the
+    watchdog: every live thread is a start node, every edge re-derived."""
+    cycles: list[frozenset[int]] = []
+    seen: set[frozenset[int]] = set()
+    for start in kernel.threads.values():
+        if not start.alive:
+            continue
+        path: list[int] = []
+        on_path: set[int] = set()
+        node = start
+        while node is not None and node.tid not in on_path:
+            path.append(node.tid)
+            on_path.add(node.tid)
+            node = waits_on(node)
+        if node is not None:
+            cycle = frozenset(path[path.index(node.tid):])
+            if cycle not in seen:
+                seen.add(cycle)
+                cycles.append(cycle)
+    return cycles
+
+
+def check_invariants(kernel: Kernel, *, expect_deadlock: bool) -> list[str]:
+    """All post-run invariant checks; returns human-readable violations."""
+    failures: list[str] = []
+    stats = kernel.stats
+
+    # 1. Monitor-hold consistency (no leaks through kills/unwinds).
+    monitors: dict[int, Any] = {}
+    for thread in kernel.threads.values():
+        for monitor in thread.held_monitors:
+            monitors[monitor.uid] = monitor
+            if not thread.alive:
+                failures.append(
+                    f"dead thread {thread.name!r} still lists "
+                    f"monitor {monitor.name!r} as held"
+                )
+            elif monitor.owner is not thread:
+                failures.append(
+                    f"{thread.name!r} holds {monitor.name!r} but its owner "
+                    f"is {getattr(monitor.owner, 'name', None)!r}"
+                )
+        candidate = thread.blocked_on
+        if hasattr(candidate, "entry_queue") and hasattr(candidate, "owner"):
+            monitors[candidate.uid] = candidate
+    for monitor in monitors.values():
+        owner = monitor.owner
+        if owner is not None and monitor not in owner.held_monitors:
+            failures.append(
+                f"monitor {monitor.name!r} names owner {owner.name!r} "
+                "which does not hold it"
+            )
+
+    # 2. Thread accounting reconciles.
+    live = [t for t in kernel.threads.values() if t.alive]
+    if stats.live_threads != len(live):
+        failures.append(
+            f"live_threads={stats.live_threads} but {len(live)} threads alive"
+        )
+    if stats.threads_created != stats.threads_finished + stats.live_threads:
+        failures.append(
+            f"created={stats.threads_created} != finished="
+            f"{stats.threads_finished} + live={stats.live_threads}"
+        )
+    expected_stack = stats.live_threads * kernel.config.stack_reservation
+    if stats.stack_bytes != expected_stack:
+        failures.append(
+            f"stack_bytes={stats.stack_bytes} != live*reservation="
+            f"{expected_stack}"
+        )
+
+    # 3. Every partial deadlock detected: force a final sweep, then scan
+    # independently and require containment.
+    watchdog = kernel.watchdog
+    if watchdog is not None:
+        watchdog.check(kernel.now)
+        reported = {report.tids for report in watchdog.deadlocks}
+        for cycle in _brute_force_cycles(kernel):
+            if cycle not in reported:
+                names = sorted(
+                    kernel.threads[tid].name for tid in cycle
+                )
+                failures.append(f"undetected waits-for cycle: {names}")
+
+    # 4. Directed scenarios: the wedge must exist, be reported, and be
+    # *partial* — a bystander still making progress.
+    if expect_deadlock:
+        if watchdog is None or not watchdog.deadlocks:
+            failures.append("expected a partial deadlock; watchdog found none")
+        else:
+            wedged = set().union(*(r.tids for r in watchdog.deadlocks))
+            bystanders = [
+                t for t in live
+                if t.tid not in wedged
+                and t.state in (ThreadState.READY, ThreadState.RUNNING,
+                                ThreadState.SLEEPING)
+            ]
+            if not bystanders:
+                failures.append(
+                    "deadlock detected but no unrelated thread is still live"
+                )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# The sweep
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunRecord:
+    scenario: str
+    plan: dict
+    seed: int
+    faults: dict = field(default_factory=dict)
+    deadlocks: int = 0
+    starvation: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_one(scenario: ChaosScenario, plan: FaultPlan, seed: int) -> RunRecord:
+    """One chaos run: build, run, sweep, check, shut down."""
+    config = KernelConfig(seed=seed, fault_plan=plan, watchdog=True)
+    kernel, shutdown = scenario.build(config)
+    record = RunRecord(
+        scenario=scenario.name, plan=plan_dict(plan), seed=seed
+    )
+    try:
+        try:
+            kernel.run_until(CHAOS_RUN, raise_on_deadlock=False)
+        except Exception as error:  # noqa: BLE001 - a fault surfaced a
+            # workload bug (e.g. a monitor held without try/finally when a
+            # kill unwound it); that is a finding, not a harness crash.
+            record.failures.append(f"run aborted: {error!r}")
+        record.faults = dict(kernel.stats.fault_counts)
+        record.deadlocks = len(kernel.watchdog.deadlocks)
+        record.starvation = len(kernel.watchdog.starvation)
+        record.failures.extend(
+            check_invariants(kernel, expect_deadlock=scenario.expect_deadlock)
+        )
+    finally:
+        shutdown()
+    # 5. Post-shutdown: everything returned.
+    stats = kernel.stats
+    if stats.live_threads != 0:
+        record.failures.append(
+            f"after shutdown: live_threads={stats.live_threads}"
+        )
+    if stats.stack_bytes != 0:
+        record.failures.append(
+            f"after shutdown: stack_bytes={stats.stack_bytes}"
+        )
+    return record
+
+
+def verify_golden(*, with_watchdog: bool = True) -> dict:
+    """Faults-off chaos mode: a zero-rate plan (and the watchdog) must
+    reproduce the pinned golden schedule hashes bit-for-bit."""
+    from repro.analysis.golden import SCENARIOS, load_golden
+
+    golden = load_golden()
+    overrides: dict[str, Any] = {"fault_plan": FaultPlan()}
+    if with_watchdog:
+        overrides["watchdog"] = True
+    mismatches = []
+    for name, run in SCENARIOS.items():
+        actual = run(config_overrides=overrides)
+        if golden.get(name) != actual:
+            mismatches.append(name)
+    return {
+        "scenarios": len(SCENARIOS),
+        "mismatches": mismatches,
+        "ok": not mismatches,
+    }
+
+
+def run_sweep(
+    *,
+    seed: int = 0,
+    runs: int = 14,
+    check_golden: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """The full sweep: directed scenarios, sampled plans, golden check.
+
+    Returns the JSON-serialisable report.  Deterministic in ``seed``.
+    """
+    rng = DeterministicRng(seed).fork("chaos")
+    say = progress or (lambda line: None)
+    records: list[RunRecord] = []
+
+    for scenario in DIRECTED_SCENARIOS:
+        record = run_one(scenario, scenario.plan, seed)
+        say(f"{scenario.name}: deadlocks={record.deadlocks} "
+            f"{'ok' if record.ok else 'FAIL'}")
+        records.append(record)
+
+    for index in range(runs):
+        scenario = SWEEP_SCENARIOS[index % len(SWEEP_SCENARIOS)]
+        plan = sample_plan(rng, kills=scenario.kill_safe)
+        record = run_one(scenario, plan, seed + index)
+        say(f"{scenario.name}[{index}]: faults={sum(record.faults.values())} "
+            f"{'ok' if record.ok else 'FAIL'}")
+        records.append(record)
+
+    report: dict[str, Any] = {
+        "seed": seed,
+        "runs": [vars(r) for r in records],
+        "summary": {
+            "total": len(records),
+            "failed": sum(1 for r in records if not r.ok),
+            "faults_injected": sum(
+                sum(r.faults.values()) for r in records
+            ),
+            "deadlocks_detected": sum(r.deadlocks for r in records),
+        },
+    }
+    if check_golden:
+        say("verifying golden hashes with faults disarmed...")
+        report["golden"] = verify_golden()
+    report["ok"] = report["summary"]["failed"] == 0 and (
+        not check_golden or report["golden"]["ok"]
+    )
+    return report
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

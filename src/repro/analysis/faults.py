@@ -1,0 +1,207 @@
+"""Seeded fault injection over the kernel trap layer.
+
+The paper's systems survived a decade of production use not because the
+primitives were never misused but because the failure modes — a NOTIFY
+issued a hair too early, a FORK denied under load, a thread dying with a
+monitor held, a timeout firing late — were *survivable* by correctly
+written client code (WAIT in a loop, Section 4.2; fork-failure policies,
+Section 5.4; timeout slop, Section 6.3).  This module makes those failure
+modes reproducible on demand so the robustness claims can be tested
+instead of assumed.
+
+Five fault kinds, each driven by its own RNG stream:
+
+* ``drop_notify`` — a NOTIFY that would have woken a waiter is stolen;
+  correct WAIT-in-a-loop code with a timeout recovers, IF-based code
+  hangs.
+* ``spurious_wakeup`` — a CV waiter is woken with no NOTIFY pending;
+  correct code re-checks its predicate, IF-based code proceeds on a
+  broken invariant.
+* ``fork_fail`` — a FORK is denied as if thread resources were
+  exhausted, exercising the configured ``fork_failure`` policy.
+* ``kill`` — a running or ready thread receives :class:`ThreadKilled`
+  at its next trap boundary; generator unwinding runs ``finally``
+  clauses, so held monitors are released like any other exception exit.
+* ``timer_jitter`` — a timed wait's deadline is pushed later by a
+  bounded random amount, modelling coarse timeout granularity.
+
+Determinism contract: the injector draws from streams forked off the
+kernel seed under per-kind labels.  ``DeterministicRng.fork`` is pure
+(CRC32 of seed+label, no parent draws) and ``chance(p)`` consumes no
+state when ``p <= 0``, so a plan with every rate at zero is trace- and
+stats-identical to running with no plan at all, and turning one fault
+kind on never perturbs another kind's schedule of draws.  The regression
+test ``tests/test_faults.py`` pins both properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.rng import DeterministicRng
+    from repro.kernel.thread import SimThread
+
+#: Fault kind names as they appear in ``GlobalStats.fault_counts`` and in
+#: ``CAT_FAULT`` trace events.
+KIND_DROP_NOTIFY = "drop_notify"
+KIND_SPURIOUS_WAKEUP = "spurious_wakeup"
+KIND_FORK_FAIL = "fork_fail"
+KIND_KILL = "kill"
+KIND_TIMER_JITTER = "timer_jitter"
+
+ALL_KINDS = (
+    KIND_DROP_NOTIFY,
+    KIND_SPURIOUS_WAKEUP,
+    KIND_FORK_FAIL,
+    KIND_KILL,
+    KIND_TIMER_JITTER,
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject and how often.  Immutable; attach to
+    ``KernelConfig.fault_plan``.
+
+    Rates are probabilities per *opportunity*: per NOTIFY with waiters
+    (``drop_notify_prob``), per FORK (``fork_fail_prob``), per armed
+    timeout (``timer_jitter_prob``), per scheduler tick
+    (``spurious_wakeup_prob``, ``kill_thread_prob``).
+    """
+
+    #: Probability a NOTIFY that has waiters wakes nobody.
+    drop_notify_prob: float = 0.0
+    #: Per-tick probability of waking one random CV waiter spuriously.
+    spurious_wakeup_prob: float = 0.0
+    #: Probability a FORK fails as if out of thread resources.
+    fork_fail_prob: float = 0.0
+    #: Per-tick probability of killing one random ready/running thread.
+    kill_thread_prob: float = 0.0
+    #: Probability an armed timeout gets jittered later.
+    timer_jitter_prob: float = 0.0
+    #: Maximum jitter added to a timed-wait deadline, in microseconds.
+    timer_jitter_max: int = 0
+    #: Thread-name prefixes that are never kill targets.  Workload roots
+    #: and harness threads go here so chaos runs converge.
+    kill_immune: tuple[str, ...] = ()
+
+    def validate(self) -> None:
+        for name in (
+            "drop_notify_prob",
+            "spurious_wakeup_prob",
+            "fork_fail_prob",
+            "kill_thread_prob",
+            "timer_jitter_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if self.timer_jitter_max < 0:
+            raise ValueError("timer_jitter_max must be non-negative")
+        if self.timer_jitter_prob > 0.0 and self.timer_jitter_max == 0:
+            raise ValueError("timer_jitter_prob set but timer_jitter_max is 0")
+
+    @property
+    def wants_ticks(self) -> bool:
+        """Whether any per-tick fault is live (the kernel keeps ticking
+        through otherwise-idle stretches when this is true)."""
+        return self.spurious_wakeup_prob > 0.0 or self.kill_thread_prob > 0.0
+
+
+class FaultInjector:
+    """Draws fault decisions and performs the tick-driven injections.
+
+    Constructed by the kernel when ``config.fault_plan`` is set.  Trap-site
+    faults (notify/fork/timer) are *decided* here but *performed* by the
+    kernel at the hook site, which then calls :meth:`note` with the victim
+    context; tick faults (spurious wake, kill) are both decided and
+    performed from :meth:`on_tick`.
+    """
+
+    def __init__(self, kernel: "Kernel", plan: FaultPlan, rng: "DeterministicRng") -> None:
+        self.kernel = kernel
+        self.plan = plan
+        # One stream per fault kind so enabling one kind does not shift
+        # another kind's draw sequence.
+        self._notify_rng = rng.fork("notify")
+        self._spurious_rng = rng.fork("spurious")
+        self._fork_rng = rng.fork("fork")
+        self._kill_rng = rng.fork("kill")
+        self._timer_rng = rng.fork("timer")
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def note(self, kind: str, thread_name: str, detail: object = None) -> None:
+        """Count an injected fault and trace it under ``CAT_FAULT``."""
+        kernel = self.kernel
+        kernel.stats.note_fault(kind)
+        if kernel._trace_fault:
+            from repro.kernel.instrumentation import CAT_FAULT
+
+            kernel.tracer.record(kernel.now, CAT_FAULT, kind, thread_name, detail)
+
+    # -- trap-site decisions ----------------------------------------------
+
+    def steal_notify(self) -> bool:
+        """Decide whether this NOTIFY (which has waiters) wakes nobody."""
+        return self._notify_rng.chance(self.plan.drop_notify_prob)
+
+    def fail_fork(self) -> bool:
+        """Decide whether this FORK is denied for (feigned) resources."""
+        return self._fork_rng.chance(self.plan.fork_fail_prob)
+
+    def timer_jitter(self) -> int:
+        """Extra microseconds to push a timed-wait deadline later."""
+        if self.plan.timer_jitter_max == 0:
+            return 0
+        if not self._timer_rng.chance(self.plan.timer_jitter_prob):
+            return 0
+        return self._timer_rng.randint(1, self.plan.timer_jitter_max)
+
+    # -- tick-driven faults ------------------------------------------------
+
+    def on_tick(self) -> None:
+        """Called by the kernel from every scheduler tick."""
+        plan = self.plan
+        if plan.spurious_wakeup_prob > 0.0 and self._spurious_rng.chance(
+            plan.spurious_wakeup_prob
+        ):
+            victim = self._pick_cv_waiter()
+            if victim is not None:
+                self.kernel._inject_spurious_wake(victim)
+        if plan.kill_thread_prob > 0.0 and self._kill_rng.chance(
+            plan.kill_thread_prob
+        ):
+            victim = self._pick_kill_target()
+            if victim is not None:
+                self.kernel._inject_kill(victim)
+
+    def _pick_cv_waiter(self) -> "SimThread | None":
+        from repro.kernel.thread import ThreadState
+
+        waiters = [
+            t
+            for t in self.kernel.threads.values()
+            if t.state is ThreadState.WAITING_CV
+        ]
+        if not waiters:
+            return None
+        return self._spurious_rng.choice(waiters)
+
+    def _pick_kill_target(self) -> "SimThread | None":
+        from repro.kernel.thread import ThreadState
+
+        immune = self.plan.kill_immune
+        targets = [
+            t
+            for t in self.kernel.threads.values()
+            if t.state in (ThreadState.READY, ThreadState.RUNNING)
+            and t.pending_throw is None
+            and not any(t.name.startswith(p) for p in immune)
+        ]
+        if not targets:
+            return None
+        return self._kill_rng.choice(targets)

@@ -222,6 +222,35 @@ def _cmd_fairshare(args: argparse.Namespace) -> None:
               f"max={stats['echo_max'] / 1000:.2f} ms")
 
 
+def _cmd_chaos(args: argparse.Namespace) -> None:
+    """Seeded fault-injection sweep with the waits-for watchdog on."""
+    from repro.analysis.chaos import run_sweep, write_report
+
+    runs = 4 if args.smoke else args.runs
+    report = run_sweep(
+        seed=args.seed,
+        runs=runs,
+        check_golden=not args.skip_golden,
+        progress=print,
+    )
+    summary = report["summary"]
+    print(
+        f"\n{summary['total']} runs, {summary['faults_injected']} faults "
+        f"injected, {summary['deadlocks_detected']} partial deadlocks "
+        f"detected, {summary['failed']} invariant failures"
+    )
+    if not args.skip_golden:
+        golden = report["golden"]
+        verdict = "match" if golden["ok"] else f"DIVERGED: {golden['mismatches']}"
+        print(f"faults-off golden hashes ({golden['scenarios']} scenarios): "
+              f"{verdict}")
+    if args.output:
+        write_report(report, args.output)
+        print(f"wrote report to {args.output}")
+    if not report["ok"]:
+        raise SystemExit(1)
+
+
 def _cmd_trace(args: argparse.Namespace) -> None:
     """Run an idle Cedar world with tracing on and export artifacts."""
     from repro.analysis.chrome_trace import write_chrome_trace
@@ -255,6 +284,9 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
                           "and the Cedar/GVX workloads"),
     "adaptive": (_cmd_adaptive, "future work: adaptive timeouts"),
     "fairshare": (_cmd_fairshare, "future work: fair-share scheduling"),
+    "chaos": (_cmd_chaos, "fault-injection sweep (stolen NOTIFYs, spurious "
+                          "wakeups, FORK failures, kills, timer jitter) with "
+                          "the waits-for watchdog and invariant checks"),
     "trace": (_cmd_trace, "render a 100 ms event history; optionally "
                           "export a Chrome trace JSON"),
 }
@@ -270,6 +302,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0,
                         help="simulation seed (default 0)")
+    parser.add_argument(
+        "--no-raise-on-deadlock", action="store_true",
+        help="on deadlock, print the waits-for diagnosis table and exit 1 "
+             "instead of raising a traceback",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name, (_handler, help_text) in _COMMANDS.items():
         sub = subparsers.add_parser(name, help=help_text)
@@ -279,9 +316,32 @@ def main(argv: list[str] | None = None) -> int:
         if name == "trace":
             sub.add_argument("output", nargs="?",
                              help="Chrome trace JSON output path")
+        if name == "chaos":
+            sub.add_argument("--runs", type=int, default=14,
+                             help="sampled fault-plan runs (default 14)")
+            sub.add_argument("--smoke", action="store_true",
+                             help="quick fixed-size sweep for CI")
+            sub.add_argument("--skip-golden", action="store_true",
+                             help="skip the faults-off golden-hash check")
+            sub.add_argument("--output", default=None,
+                             help="write the JSON report here")
     args = parser.parse_args(argv)
     handler, _help = _COMMANDS[args.command]
-    handler(args)
+    try:
+        handler(args)
+    except Exception as error:
+        from repro.kernel.errors import Deadlock
+
+        if not (args.no_raise_on_deadlock and isinstance(error, Deadlock)):
+            raise
+        from repro.analysis.watchdog import format_rows
+
+        print("deadlock detected:", file=sys.stderr)
+        if error.rows:
+            print(format_rows(error.rows), file=sys.stderr)
+        else:
+            print(str(error), file=sys.stderr)
+        return 1
     return 0
 
 

@@ -31,6 +31,7 @@ from repro.kernel.errors import (
     KernelUsageError,
     MonitorProtocolError,
     SimThreadError,
+    ThreadKilled,
     UncaughtThreadError,
 )
 from repro.kernel.kernel import Kernel
@@ -54,6 +55,7 @@ __all__ = [
     "SimThread",
     "SimThreadError",
     "SimVar",
+    "ThreadKilled",
     "ThreadState",
     "UncaughtThreadError",
     "msec",

@@ -19,8 +19,9 @@ flip exactly one variable:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
-from repro.kernel.simtime import msec, usec
+from repro.kernel.simtime import msec, sec, usec
 
 PRIORITY_LEVELS = 7
 MIN_PRIORITY = 1
@@ -93,6 +94,26 @@ class KernelConfig:
     #: access and synchronisation trap.  Purely observational: enabling
     #: it never changes a schedule, disabling it costs nothing.
     race_detection: bool = False
+    #: Seeded fault plan (:class:`repro.analysis.faults.FaultPlan`) or
+    #: None.  When set, the kernel instantiates a
+    #: :class:`~repro.analysis.faults.FaultInjector` drawing from a
+    #: dedicated RNG stream forked off the kernel seed, so a plan with
+    #: all rates at zero is byte-identical to no plan at all and enabling
+    #: one fault kind never perturbs another kind's schedule.  Typed
+    #: loosely to keep the kernel layer free of analysis imports.
+    fault_plan: Any = None
+    #: Run the waits-for watchdog (:mod:`repro.analysis.watchdog`):
+    #: partial-deadlock cycles among monitor/JOIN/untimed-CV waiters and
+    #: a starvation monitor for ready-but-never-dispatched threads.
+    #: Purely observational unless ``watchdog_raise`` is set.
+    watchdog: bool = False
+    #: Sim-time between watchdog sweeps; None means one quantum.
+    watchdog_interval: int | None = None
+    #: A READY thread continuously undispatched for this long is starving.
+    starvation_budget: int = sec(1)
+    #: Raise :class:`Deadlock` as soon as the watchdog confirms a cycle
+    #: (instead of recording it and letting the run continue).
+    watchdog_raise: bool = False
     #: Re-raise a thread's uncaught exception at end of run.
     propagate_thread_errors: bool = True
     #: Record a full event trace (costs memory; stats are always kept).
@@ -119,3 +140,9 @@ class KernelConfig:
             raise ValueError("costs must be non-negative")
         if not 0.0 <= self.at_least_one_extra_prob <= 1.0:
             raise ValueError("at_least_one_extra_prob must be in [0, 1]")
+        if self.fault_plan is not None:
+            self.fault_plan.validate()
+        if self.watchdog_interval is not None and self.watchdog_interval <= 0:
+            raise ValueError("watchdog_interval must be positive")
+        if self.starvation_budget <= 0:
+            raise ValueError("starvation_budget must be positive")

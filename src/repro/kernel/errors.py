@@ -42,13 +42,32 @@ class ForkFailed(SimThreadError):
     """FORK failed for lack of resources (Section 5.4, "raise" policy)."""
 
 
+class ThreadKilled(SimThreadError):
+    """An injected fault killed the thread at a trap boundary.
+
+    Raised *into* the thread body by the fault injector
+    (:mod:`repro.analysis.faults`), so ``finally`` clauses run and monitors
+    are released exactly as for any other unwinding exception.  Kills are
+    faults, not workload bugs: an unjoined victim does not land in
+    ``pending_thread_errors``, but a JOINer still sees the death.
+    """
+
+
 class Deadlock(KernelError):
     """The simulation cannot make progress.
 
     Raised by ``Kernel.run`` when threads exist but none are runnable and no
-    timed event will ever wake one.  The message carries a per-thread
-    diagnosis of what each thread is blocked on.
+    timed event will ever wake one, and by the waits-for watchdog
+    (:mod:`repro.analysis.watchdog`, when ``watchdog_raise`` is set) on a
+    *partial* deadlock among a subset of live threads.  The message carries
+    a per-thread diagnosis; ``rows`` carries the same diagnosis as
+    structured ``(thread, state, waits_on, held_by)`` tuples so callers
+    (the CLI's ``--no-raise-on-deadlock`` path) can render a table.
     """
+
+    def __init__(self, message: str, rows: "list[tuple] | None" = None) -> None:
+        super().__init__(message)
+        self.rows = rows or []
 
 
 class UncaughtThreadError(KernelError):

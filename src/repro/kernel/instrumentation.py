@@ -30,6 +30,8 @@ CAT_SLEEP = "sleep"
 CAT_CHANNEL = "channel"
 CAT_ANNOTATE = "annotate"
 CAT_RACE = "race"
+CAT_FAULT = "fault"
+CAT_WATCHDOG = "watchdog"
 
 ALL_CATEGORIES = frozenset(
     {
@@ -44,6 +46,8 @@ ALL_CATEGORIES = frozenset(
         CAT_CHANNEL,
         CAT_ANNOTATE,
         CAT_RACE,
+        CAT_FAULT,
+        CAT_WATCHDOG,
     }
 )
 

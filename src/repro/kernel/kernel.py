@@ -47,6 +47,7 @@ from repro.kernel.errors import (
     JoinProtocolError,
     KernelUsageError,
     MonitorProtocolError,
+    ThreadKilled,
     UncaughtThreadError,
 )
 from repro.kernel.events import EventHeap
@@ -160,6 +161,8 @@ class Kernel:
         self._trace_channel = tracer.wants(instr.CAT_CHANNEL)
         self._trace_fork = tracer.wants(instr.CAT_FORK)
         self._trace_end = tracer.wants(instr.CAT_END)
+        self._trace_fault = tracer.wants(instr.CAT_FAULT)
+        self._trace_watchdog = tracer.wants(instr.CAT_WATCHDOG)
         self.stats = GlobalStats()
         self.threads: dict[int, SimThread] = {}
         self._tid_counter = itertools.count(1)
@@ -208,6 +211,22 @@ class Kernel:
             from repro.analysis.races import RaceDetector
 
             self.race_detector = RaceDetector(self)
+        #: Seeded fault injector (repro.analysis.faults), or None.  Draws
+        #: from a forked RNG stream, so a plan with all rates at zero is
+        #: schedule-identical to no plan at all.
+        self.faults = None
+        if self.config.fault_plan is not None:
+            from repro.analysis.faults import FaultInjector
+
+            self.faults = FaultInjector(
+                self, self.config.fault_plan, self.rng.fork("faults")
+            )
+        #: Passive waits-for watchdog (repro.analysis.watchdog), or None.
+        self.watchdog = None
+        if self.config.watchdog:
+            from repro.analysis.watchdog import Watchdog
+
+            self.watchdog = Watchdog(self)
         _LIVE_KERNELS.add(self)
         # If the kernel is garbage-collected without shutdown(), close the
         # thread generators cleanly so their monitor-releasing `finally`
@@ -297,7 +316,7 @@ class Kernel:
             t_next = self._next_time()
             if t_next is None:
                 if raise_on_deadlock and self._is_deadlocked():
-                    raise Deadlock(self._deadlock_report())
+                    raise self._make_deadlock()
                 break
             if t_next > t_end:
                 break
@@ -307,6 +326,8 @@ class Kernel:
                 self._on_tick()
             for action in self.events.pop_due(self.now):
                 action(self)
+            if self.watchdog is not None:
+                self.watchdog.maybe_check(self.now)
             self._check_preemption()
         self.now = max(self.now, t_end)
         self._propagate_errors()
@@ -374,6 +395,13 @@ class Kernel:
         ticks is a pure optimisation: a lone runner is never rotated."""
         if self._timed:
             return True
+        # Tick-driven faults sample the world every quantum, and a FORK
+        # feigned-failed into the wait queue is released at the next tick,
+        # so fault injection keeps the clock ticking through idle spells.
+        if self.faults is not None and (
+            self.faults.plan.wants_ticks or self._fork_waiters
+        ):
+            return True
         if self.scheduler.ready_count() == 0:
             return False
         return any(cpu.current is not None for cpu in self.scheduler.cpus)
@@ -386,6 +414,12 @@ class Kernel:
         self.stats.ticks += 1
         if self._trace_tick:
             self.tracer.record(self.now, instr.CAT_TICK, "tick", "-")
+        if self.faults is not None:
+            self.faults.on_tick()
+            if self._fork_waiters:
+                # A feigned resource exhaustion clears by the next tick
+                # (capacity permitting), so forced fork-waits are bounded.
+                self._release_fork_waiter()
         self.scheduler.clear_donations()
         self._wake_due_timed()
         fair_share = self.scheduler.policy == "fair_share"
@@ -658,6 +692,8 @@ class Kernel:
         self._off_cpu(cpu, thread)
         thread.state = state
         thread.blocked_on = blocked_on
+        if self.watchdog is not None:
+            self.watchdog.on_block(thread)
 
     # ------------------------------------------------------------------
     # Thread lifecycle
@@ -766,7 +802,9 @@ class Kernel:
                 self.race_detector.on_join(joiner, thread)
             joiner.pending_throw = wrapped
             self.scheduler.make_ready(joiner)
-        else:
+        elif not isinstance(error, ThreadKilled):
+            # Injected kills are faults, not workload bugs: an unjoined
+            # victim's death must not fail the whole run at shutdown.
             self.pending_thread_errors.append(wrapped)
         if self._trace_end:
             self.tracer.record(
@@ -830,11 +868,26 @@ class Kernel:
         return any(t.state in self._DEADLOCK_STATES for t in live)
 
     def _deadlock_report(self) -> str:
-        lines = ["no runnable threads and no pending events; blocked threads:"]
-        lines.extend(
-            f"  {t.describe_block()}" for t in self.threads.values() if t.alive
+        return str(self._make_deadlock())
+
+    def _make_deadlock(self) -> Deadlock:
+        """Build the global-wedge :class:`Deadlock` with diagnosis rows.
+
+        The table names, for every live thread, what it waits ON and who
+        holds that resource (monitor owner, CV's monitor owner, join
+        target) — ``describe_block`` only said what state a thread was in.
+        Row formatting lives in :mod:`repro.analysis.watchdog` (lazy
+        import: this is an error path, never hot) so the watchdog's
+        partial-deadlock reports and the CLI table share it.
+        """
+        from repro.analysis.watchdog import deadlock_rows, format_rows
+
+        rows = deadlock_rows(self.threads.values())
+        message = (
+            "no runnable threads and no pending events; blocked threads:\n"
+            + format_rows(rows)
         )
-        return "\n".join(lines)
+        return Deadlock(message, rows=rows)
 
     def _propagate_errors(self) -> None:
         if self.config.propagate_thread_errors and self.pending_thread_errors:
@@ -875,7 +928,14 @@ class Kernel:
         return _Outcome.BURN
 
     def _h_fork(self, cpu: Cpu, thread: SimThread, trap: Fork) -> _Outcome:
-        if self.stats.live_threads >= self.config.max_threads:
+        forced = (
+            self.faults is not None
+            and self.stats.live_threads < self.config.max_threads
+            and self.faults.fail_fork()
+        )
+        if forced or self.stats.live_threads >= self.config.max_threads:
+            if forced:
+                self.faults.note("fork_fail", thread.name)
             self.stats.fork_failures += 1
             if self.config.fork_failure == FORK_FAILURE_RAISE:
                 # The old systems "would raise an error when a FORK failed".
@@ -1188,6 +1248,17 @@ class Kernel:
             )
         if self.race_detector is not None:
             self.race_detector.on_notify(thread, cv)
+        if (
+            self.faults is not None
+            and cv.waiters
+            and self.faults.steal_notify()
+        ):
+            # The NOTIFY happened (counted, traced, race-ordered) but its
+            # wakeup is lost — the §4.2 hazard that WAIT-in-a-loop code
+            # with timeouts survives and IF-based code does not.
+            self.faults.note("drop_notify", thread.name, cv.name)
+            thread.pending_send = None
+            return _Outcome.CONTINUE
         wake = 1
         if (
             self.config.notify_wakes == WAKES_AT_LEAST_ONE
@@ -1227,6 +1298,43 @@ class Kernel:
 
     def _wake_cv_waiter(self, cv: Any) -> None:
         waiter = cv.waiters.popleft()
+        self._deliver_cv_wake(cv, waiter)
+
+    def _inject_spurious_wake(self, thread: SimThread) -> None:
+        """Fault injection: wake a CV waiter with no NOTIFY pending.
+
+        The wake is indistinguishable from a notification to the waiter
+        (WAIT returns True) — exactly the hazard that makes "re-check the
+        predicate in a loop" mandatory (Section 4.2).  Unlike a real
+        NOTIFY the waiter always re-competes for the mutex: the deferred
+        path parks waiters on the notifier's entry queue awaiting its
+        Exit, but a spurious wake has no notifier — the monitor may be
+        unowned, and a parked waiter would strand there forever.
+        """
+        cv = thread.blocked_on
+        cv.waiters.remove(thread)
+        self.faults.note("spurious_wakeup", thread.name, cv.name)
+        thread.wait_epoch += 1  # cancels the pending timeout lazily
+        thread.wake_was_notify = True
+        self.stats.cv_wakeups += 1
+        thread.pending_send = True  # looks exactly like a notification
+        thread.resume_action = ("reacquire", cv.monitor, False)
+        self.scheduler.make_ready(thread)
+
+    def _inject_kill(self, thread: SimThread) -> None:
+        """Fault injection: kill a thread at its next trap boundary.
+
+        Delivered via ``pending_throw``, so the generator unwinds through
+        its ``finally`` clauses — monitors are released like any other
+        exception exit, and ``_finish_error`` still enforces that.
+        """
+        thread.pending_throw = ThreadKilled(
+            f"fault injection killed {thread.name!r} at {self.now}us"
+        )
+        self.faults.note("kill", thread.name)
+
+    def _deliver_cv_wake(self, cv: Any, waiter: SimThread) -> None:
+        """Wake a thread already removed from ``cv.waiters``."""
         waiter.wait_epoch += 1  # cancels the pending timeout lazily
         waiter.wake_was_notify = True
         if self.race_detector is not None:
@@ -1266,6 +1374,14 @@ class Kernel:
         return _Outcome.SUSPEND
 
     def _arm_timed(self, thread: SimThread, deadline: int, kind: str) -> None:
+        if self.faults is not None:
+            jitter = self.faults.timer_jitter()
+            if jitter:
+                self.faults.note("timer_jitter", thread.name, jitter)
+                deadline += jitter
+        # Stamp the epoch so observers can tell a timed wait (self-waking,
+        # never part of a deadlock cycle) from an untimed one.
+        thread.timed_epoch = thread.wait_epoch
         heapq.heappush(
             self._timed,
             (deadline, next(self._timed_seq), thread, thread.wait_epoch, kind),

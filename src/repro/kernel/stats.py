@@ -75,6 +75,14 @@ class GlobalStats:
         self.monitors_used: set[int] = set()
         self.cvs_used: set[int] = set()
 
+        #: Injected-fault tally by kind (:mod:`repro.analysis.faults`):
+        #: ``drop_notify``, ``spurious_wakeup``, ``fork_fail``, ``kill``,
+        #: ``timer_jitter``.  Kept as a dict — not as one int attribute per
+        #: kind — so a faults-off run's scalar-counter fingerprint (the
+        #: golden-schedule stats hash digests every int attribute) is
+        #: byte-identical to a build that predates fault injection.
+        self.fault_counts: dict[str, int] = {}
+
         #: (duration_us, priority) per completed execution interval (F1/F2).
         self.exec_intervals: list[tuple[int, int]] = []
         #: CPU microseconds accumulated per priority level (F4).
@@ -91,6 +99,15 @@ class GlobalStats:
     def note_interval(self, duration: int, priority: int) -> None:
         self.exec_intervals.append((duration, priority))
         self.cpu_by_priority[priority] += duration
+
+    def note_fault(self, kind: str) -> None:
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+
+    @property
+    def faults_injected(self) -> int:
+        """Total injected faults of every kind (a property, so it stays
+        out of ``vars(stats)`` and cannot perturb stats fingerprints)."""
+        return sum(self.fault_counts.values())
 
     def clear_distinct(self) -> None:
         """Start a fresh Table-3 window."""

@@ -129,6 +129,11 @@ class SimThread:
         #: Bumped on every blocking wait; lazily invalidates stale timeout
         #: entries in the kernel's timed-waiter heap.
         self.wait_epoch = 0
+        #: ``wait_epoch`` value at the most recent ``_arm_timed`` — the
+        #: current block has a live timeout iff ``timed_epoch ==
+        #: wait_epoch``.  The waits-for watchdog uses this to exclude
+        #: self-waking (timed) waits from deadlock cycles.
+        self.timed_epoch = -1
         #: Deferred continuation to run when next dispatched, e.g.
         #: ("reacquire", monitor, was_notify) after a CV wake.
         self.resume_action: tuple | None = None

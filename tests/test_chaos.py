@@ -1,0 +1,121 @@
+"""Chaos sweep runner (repro.analysis.chaos).
+
+The sweep is the robustness acceptance harness: every run must satisfy
+the kernel invariants (no leaked monitor holds, reconciled stats, every
+injected partial deadlock detected) and the whole sweep must be
+deterministic in its seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.chaos import (
+    DIRECTED_SCENARIOS,
+    SWEEP_SCENARIOS,
+    FaultPlan,
+    check_invariants,
+    plan_dict,
+    run_one,
+    run_sweep,
+    sample_plan,
+    verify_golden,
+    write_report,
+)
+from repro.kernel.rng import DeterministicRng
+
+
+def small_sweep(seed=0):
+    return run_sweep(seed=seed, runs=3, check_golden=False)
+
+
+class TestDirectedScenarios:
+    def test_injected_partial_deadlocks_are_detected(self):
+        """Acceptance: each directed wedge is caught by the watchdog
+        while a bystander stays runnable, and all invariants hold."""
+        for scenario in DIRECTED_SCENARIOS:
+            record = run_one(scenario, scenario.plan, seed=0)
+            assert record.failures == [], scenario.name
+            assert record.deadlocks >= 1, scenario.name
+
+    def test_sweep_scenarios_survive_sampled_faults(self):
+        rng = DeterministicRng(0).fork("chaos")
+        scenario = SWEEP_SCENARIOS[0]
+        record = run_one(scenario, sample_plan(rng), seed=0)
+        assert record.failures == []
+
+
+class TestSweep:
+    def test_small_sweep_is_clean(self):
+        report = small_sweep()
+        assert report["ok"] is True
+        assert report["summary"]["failed"] == 0
+        assert report["summary"]["total"] == len(DIRECTED_SCENARIOS) + 3
+        assert report["summary"]["deadlocks_detected"] >= len(
+            DIRECTED_SCENARIOS
+        )
+        assert report["summary"]["faults_injected"] > 0
+
+    def test_sweep_is_deterministic_in_its_seed(self):
+        assert small_sweep(seed=5) == small_sweep(seed=5)
+
+    def test_report_is_json_serialisable(self, tmp_path):
+        report = small_sweep()
+        path = tmp_path / "chaos.json"
+        write_report(report, str(path))
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(report)
+        )
+
+    def test_golden_verification_passes_with_faults_disarmed(self):
+        verdict = verify_golden()
+        assert verdict["ok"] is True
+        assert verdict["mismatches"] == []
+
+
+class TestPlanSampling:
+    def test_sampled_plans_are_valid_and_deterministic(self):
+        rng_a = DeterministicRng(1).fork("chaos")
+        rng_b = DeterministicRng(1).fork("chaos")
+        plans_a = [sample_plan(rng_a) for _ in range(10)]
+        plans_b = [sample_plan(rng_b) for _ in range(10)]
+        assert plans_a == plans_b
+        for plan in plans_a:
+            plan.validate()
+
+    def test_kills_can_be_disabled_for_unsafe_workloads(self):
+        rng = DeterministicRng(2).fork("chaos")
+        for _ in range(10):
+            assert sample_plan(rng, kills=False).kill_thread_prob == 0.0
+
+    def test_plan_dict_round_trips_the_fields(self):
+        plan = FaultPlan(drop_notify_prob=0.25, timer_jitter_prob=0.5,
+                         timer_jitter_max=100)
+        as_dict = plan_dict(plan)
+        assert as_dict["drop_notify_prob"] == 0.25
+        assert FaultPlan(**as_dict) == plan
+
+
+class TestInvariantChecker:
+    def test_flags_a_missing_deadlock_report(self):
+        """check_invariants is itself checked: an expected deadlock that
+        the watchdog missed must surface as a failure."""
+        scenario = SWEEP_SCENARIOS[0]
+        config_scenario = scenario
+        record = run_one(
+            type(scenario)(
+                name=config_scenario.name,
+                build=config_scenario.build,
+                kill_safe=config_scenario.kill_safe,
+                expect_deadlock=True,  # a world never deadlocks
+            ),
+            FaultPlan(),
+            seed=0,
+        )
+        assert any("deadlock" in failure for failure in record.failures)
+
+    def test_clean_kernel_passes(self):
+        scenario = SWEEP_SCENARIOS[0]
+        record = run_one(scenario, FaultPlan(), seed=0)
+        assert record.failures == []
+        assert record.faults == {}

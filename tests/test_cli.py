@@ -53,6 +53,58 @@ class TestCli:
         out = capsys.readouterr().out
         assert "spurious" in out
 
+    def test_chaos_help_documents_the_sweep(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for option in ("--runs", "--smoke", "--skip-golden", "--output"):
+            assert option in out
+
+    def test_chaos_smoke_runs_and_writes_a_report(self, capsys, tmp_path):
+        output = tmp_path / "chaos.json"
+        assert main(
+            ["chaos", "--smoke", "--skip-golden", "--output", str(output)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "partial deadlocks" in out
+        assert "invariant failures" in out
+        import json
+
+        report = json.loads(output.read_text())
+        assert report["ok"] is True
+        assert report["summary"]["deadlocks_detected"] >= 2
+
+    def test_no_raise_on_deadlock_prints_a_table(self, capsys, monkeypatch):
+        from repro import cli
+        from repro.kernel.errors import Deadlock
+
+        rows = [
+            ("ab", "blocked-monitor", "monitor B", "ba"),
+            ("ba", "blocked-monitor", "monitor A", "ab"),
+        ]
+
+        def wedge(_args):
+            raise Deadlock("wedged", rows=rows)
+
+        monkeypatch.setitem(cli._COMMANDS, "wedge", (wedge, "test stub"))
+        assert main(["--no-raise-on-deadlock", "wedge"]) == 1
+        err = capsys.readouterr().err
+        assert "deadlock detected:" in err
+        assert "waits on" in err and "held by" in err  # table header
+        assert "monitor B" in err and "ba" in err
+
+    def test_deadlock_raises_without_the_flag(self, monkeypatch):
+        from repro import cli
+        from repro.kernel.errors import Deadlock
+
+        def wedge(_args):
+            raise Deadlock("wedged", rows=[])
+
+        monkeypatch.setitem(cli._COMMANDS, "wedge", (wedge, "test stub"))
+        with pytest.raises(Deadlock):
+            main(["wedge"])
+
     def test_trace_command_writes_chrome_json(self, capsys, tmp_path):
         output = tmp_path / "trace.json"
         assert main(["trace", str(output)]) == 0
