@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench bench-perf golden tables census races chaos quick all
+.PHONY: install test lint bench bench-perf bench-server golden tables census races chaos serve quick all
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,11 @@ bench:
 bench-perf:
 	PYTHONPATH=src python benchmarks/bench_kernel_perf.py
 
+# Multi-tenant RPC server SLO sweep (policy x pool size x load); writes
+# BENCH_server.json with p50/p95/p99/p999, throughput and shed counts.
+bench-server:
+	PYTHONPATH=src python benchmarks/bench_server.py
+
 # The golden-schedule determinism guard on its own.
 golden:
 	PYTHONPATH=src python -m pytest tests/test_golden_schedule.py -q
@@ -36,6 +41,10 @@ races:
 # checks; writes the JSON report (see docs/ROBUSTNESS.md).
 chaos:
 	PYTHONPATH=src python -m repro chaos --smoke --output chaos-report.json
+
+# The multi-tenant RPC server world with its latency-SLO report.
+serve:
+	PYTHONPATH=src python -m repro serve
 
 quick:
 	python examples/quickstart.py

@@ -48,6 +48,7 @@ from repro.sync.condition import (
     await_condition,
     await_condition_if_broken,
 )
+from repro.server.world import build_server_world
 from repro.sync.monitor import Monitor
 from repro.workloads import build_cedar_world, build_gvx_world
 from repro.workloads.cedar import CEDAR_ACTIVITIES
@@ -175,6 +176,18 @@ def _fork_churn(config: KernelConfig):
     return kernel, kernel.shutdown
 
 
+def _server_chaos(scenario):
+    """The RPC server world under faults.  Stolen NOTIFYs must degrade to
+    one-tick stalls (every pool get is timed), and injected kills must
+    not leak monitor holds or wedge the remaining workers."""
+
+    def build(config: KernelConfig):
+        world, _server = build_server_world(config, scenario=scenario)
+        return world.kernel, world.shutdown
+
+    return build
+
+
 def _wait_if_deadlock(config: KernelConfig):
     """Directed: an injected spurious wakeup springs the §5.3 IF-not-WHILE
     anti-pattern into an ABBA monitor cycle, while a daemon keeps running.
@@ -286,6 +299,8 @@ SWEEP_SCENARIOS: tuple[ChaosScenario, ...] = (
     ),
     ChaosScenario("producer-consumer", _producer_consumer),
     ChaosScenario("fork-churn", _fork_churn),
+    ChaosScenario("server-steady", _server_chaos("steady")),
+    ChaosScenario("server-overload", _server_chaos("overload")),
 )
 
 DIRECTED_SCENARIOS: tuple[ChaosScenario, ...] = (

@@ -1,11 +1,11 @@
 """Golden-schedule scenarios and fingerprinting, as a library.
 
 The determinism guard (``tests/test_golden_schedule.py``) pins SHA-256
-digests of thirteen scenarios' full trace streams and final statistics.
+digests of fifteen scenarios' full trace streams and final statistics.
 This module holds the scenario bodies and the fingerprint function so
 other consumers can run the same scenarios under varied configuration:
 
-* the watchdog false-positive tests run all thirteen with the watchdog
+* the watchdog false-positive tests run all fifteen with the watchdog
   enabled and assert both zero reports *and* fingerprint equality with
   the pinned hashes (observers must be passive);
 * the chaos runner (:mod:`repro.analysis.chaos`) re-verifies the pins in
@@ -33,6 +33,7 @@ from repro.kernel import primitives as p
 from repro.kernel.primitives import Enter, Exit, Notify, Wait
 from repro.sync.condition import ConditionVariable
 from repro.sync.monitor import Monitor
+from repro.server.world import build_server_world
 from repro.workloads import build_cedar_world, build_gvx_world
 from repro.workloads.cedar import CEDAR_ACTIVITIES
 from repro.workloads.gvx import GVX_ACTIVITIES
@@ -406,6 +407,24 @@ def _weak_memory_scenario(
     return result
 
 
+def _server_scenario(scenario):
+    """The multi-tenant RPC server world (steady-state and overload)."""
+
+    def run(config_overrides: dict | None = None, probe: Probe | None = None) -> dict:
+        world, _server = build_server_world(
+            _config(dict(seed=0, trace=True), config_overrides),
+            scenario=scenario,
+        )
+        world.run_for(WORLD_RUN)
+        if probe is not None:
+            probe(world.kernel)
+        result = fingerprint(world.kernel)
+        world.shutdown()
+        return result
+
+    return run
+
+
 SCENARIOS: dict[str, Callable[..., dict]] = {
     "cedar-idle": _world_scenario(build_cedar_world, CEDAR_ACTIVITIES, "idle"),
     "cedar-keyboard": _world_scenario(
@@ -424,6 +443,8 @@ SCENARIOS: dict[str, Callable[..., dict]] = {
     "multiprocessor": _multiprocessor_scenario,
     "fair-share": _fair_share_scenario,
     "weak-memory": _weak_memory_scenario,
+    "server-steady": _server_scenario("steady"),
+    "server-overload": _server_scenario("overload"),
 }
 
 

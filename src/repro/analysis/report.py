@@ -43,6 +43,90 @@ def _fmt(cell: Any) -> str:
     return str(cell)
 
 
+def format_latency_histogram(
+    title: str,
+    latency: dict,
+    *,
+    width: int = 40,
+) -> str:
+    """ASCII rendering of a :class:`~repro.server.latency.LatencyHistogram`
+    in its ``to_dict()`` form: one bar per non-empty log2 bucket, plus
+    the quantile footer every SLO discussion starts from."""
+    from repro.server.latency import QUANTILES, bucket_label
+
+    buckets = {int(k): v for k, v in latency.get("buckets", {}).items()}
+    lines = [title]
+    if not buckets:
+        lines.append("  (no observations)")
+        return "\n".join(lines)
+    peak = max(buckets.values())
+    label_width = max(len(bucket_label(i)) for i in buckets)
+    for index in sorted(buckets):
+        count = buckets[index]
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(
+            f"  {bucket_label(index):>{label_width}}  {count:>7}  {bar}"
+        )
+    quantiles = "  ".join(
+        f"{name}={latency[name] / 1000:.1f}ms" for name, _ in QUANTILES
+    )
+    lines.append(
+        f"  n={latency['total']}  mean="
+        f"{(latency['sum'] / latency['total']) / 1000:.1f}ms  {quantiles}"
+    )
+    return "\n".join(lines)
+
+
+def format_server_counters(stats: dict) -> str:
+    """Per-tenant shed/timeout/retry counter table for a server run's
+    ``ServerStats.to_dict()``; the totals row closes the table."""
+    headers = ["tenant", "offered", "admitted", "shed", "completed",
+               "coalesced", "timeouts", "retries", "failed", "give_ups",
+               "p50", "p99"]
+    rows = []
+    for name, row in stats["tenants"].items():
+        latency = row.get("latency")
+        rows.append([
+            name, row["offered"], row["admitted"], row["shed"],
+            row["completed"], row["coalesced"], row["timeouts"],
+            row["retries"], row["failed"], row["give_ups"],
+            f"{latency['p50'] / 1000:.1f}ms" if latency else "-",
+            f"{latency['p99'] / 1000:.1f}ms" if latency else "-",
+        ])
+    totals = stats["totals"]
+    rows.append([
+        "TOTAL", totals["offered"], totals["admitted"], totals["shed"],
+        totals["completed"], totals["coalesced"], totals["timeouts"],
+        totals["retries"], totals["failed"], totals["give_ups"],
+        f"{stats['latency']['p50'] / 1000:.1f}ms",
+        f"{stats['latency']['p99'] / 1000:.1f}ms",
+    ])
+    return format_table("Per-tenant outcomes", headers, rows)
+
+
+def format_server_report(report: dict) -> str:
+    """The full ``serve`` output for a ``ServerReport.to_dict()``."""
+    stats = report["stats"]
+    seconds = report["duration_us"] / 1_000_000
+    depth = stats.get("max_depth_sampled", 0)
+    lines = [
+        f"server scenario={report['scenario']} seed={report['seed']} "
+        f"policy={report['policy']} workers={report['workers']} "
+        f"admission={report['admission_capacity']} run={seconds:g}s",
+        f"throughput {report['throughput_per_sec']:.1f} req/s, "
+        f"shed {100 * report['shed_fraction']:.1f}%, "
+        f"peak sampled queue depth {depth}, "
+        f"{stats['batches']} write batches",
+        "",
+        format_server_counters(stats),
+        "",
+        format_latency_histogram("End-to-end latency", stats["latency"]),
+        "",
+        f"stats digest: {report['digest']}",
+    ]
+    return "\n".join(lines)
+
+
 def ratio(measured: float, paper: float) -> str:
     """measured/paper as a compact ratio string ("-" when undefined)."""
     if paper == 0:

@@ -251,6 +251,29 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    """Run the multi-tenant RPC server world and print the SLO report."""
+    import json
+
+    from repro.analysis.report import format_server_report
+    from repro.kernel.simtime import msec
+    from repro.server.world import run_server
+
+    report = run_server(
+        seed=args.seed,
+        scenario=args.scenario,
+        workers=args.workers,
+        policy=args.policy,
+        admission_capacity=args.capacity,
+        duration=msec(args.duration_ms),
+    )
+    print(format_server_report(report.to_dict()))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote JSON report to {args.output}")
+
+
 def _cmd_trace(args: argparse.Namespace) -> None:
     """Run an idle Cedar world with tracing on and export artifacts."""
     from repro.analysis.chrome_trace import write_chrome_trace
@@ -287,6 +310,9 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "chaos": (_cmd_chaos, "fault-injection sweep (stolen NOTIFYs, spurious "
                           "wakeups, FORK failures, kills, timer jitter) with "
                           "the waits-for watchdog and invariant checks"),
+    "serve": (_cmd_serve, "run the multi-tenant RPC server world and print "
+                          "its latency-SLO report (p50/p95/p99/p999, "
+                          "shed/timeout/retry counters, stats digest)"),
     "trace": (_cmd_trace, "render a 100 ms event history; optionally "
                           "export a Chrome trace JSON"),
 }
@@ -316,6 +342,21 @@ def main(argv: list[str] | None = None) -> int:
         if name == "trace":
             sub.add_argument("output", nargs="?",
                              help="Chrome trace JSON output path")
+        if name == "serve":
+            sub.add_argument("--scenario", default="steady",
+                             choices=["steady", "overload"],
+                             help="tenant mix (default steady)")
+            sub.add_argument("--workers", type=int, default=4,
+                             help="worker-pool size (default 4)")
+            sub.add_argument("--policy", default="strict",
+                             choices=["strict", "fair_share"],
+                             help="scheduler policy (default strict)")
+            sub.add_argument("--capacity", type=int, default=32,
+                             help="admission queue capacity (default 32)")
+            sub.add_argument("--duration-ms", type=int, default=2000,
+                             help="simulated run length in ms (default 2000)")
+            sub.add_argument("--output", default=None,
+                             help="write the JSON report here")
         if name == "chaos":
             sub.add_argument("--runs", type=int, default=14,
                              help="sampled fault-plan runs (default 14)")

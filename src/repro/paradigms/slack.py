@@ -104,6 +104,11 @@ class SlackProcess:
         """The slack process's thread body."""
         while True:
             first = yield from self.queue.get()
+            if first is None:
+                # A queue with a default get timeout returns None when the
+                # wait expires empty (e.g. a lost NOTIFY under fault
+                # injection): poll again rather than batching a phantom.
+                continue
             batch = [first]
             if self.strategy != GATHER_NONE:
                 for _ in range(self.gather_rounds):

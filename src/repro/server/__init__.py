@@ -1,0 +1,30 @@
+"""The simulated multi-tenant RPC server world.
+
+The paper's thread paradigms — pumps, serializers, slack processes,
+sleepers, one-shots (Section 4, Table 4) — are exactly the building
+blocks of a request-serving system.  This package composes the paradigm
+library into a server running on the simulated kernel: listener pumps,
+a bounded admission queue with load shedding, a worker pool, per-tenant
+serializers for ordered traffic, a slack-process write batcher, and a
+sleeper-driven deadline/retry path — instrumented end to end with a
+log-bucketed latency histogram (p50/p95/p99/p999).
+
+See docs/SERVER.md for the architecture and knobs.
+"""
+
+from repro.server.latency import LatencyHistogram
+from repro.server.model import Request, ServerStats, TenantSpec, scenario_tenants
+from repro.server.server import RpcServer
+from repro.server.world import ServerReport, build_server_world, run_server
+
+__all__ = [
+    "LatencyHistogram",
+    "Request",
+    "RpcServer",
+    "ServerReport",
+    "ServerStats",
+    "TenantSpec",
+    "build_server_world",
+    "run_server",
+    "scenario_tenants",
+]

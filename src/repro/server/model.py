@@ -1,0 +1,213 @@
+"""Data model of the server world: tenants, requests, statistics.
+
+A *tenant* is one traffic class sharing the server — its own arrival
+process (open-loop Poisson events or a closed-loop client population),
+its own cost/deadline envelope, and its own RNG stream forked from the
+kernel seed so adding a tenant never perturbs another tenant's arrival
+sequence.  *Competitive Parallelism: Getting Your Priorities Right*
+frames the tension this models: tenants compete for workers, and the
+scheduler policy decides whose tail latency pays for whose throughput.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.kernel.simtime import msec, usec
+from repro.server.latency import LatencyHistogram
+
+#: Request terminal states.
+DONE = "done"
+SHED = "shed"
+FAILED = "failed"
+PENDING = "pending"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One traffic class and its service-level envelope."""
+
+    name: str
+    #: "open" (Poisson arrival events) or "closed" (client threads).
+    mode: str = "open"
+    #: Open-loop offered load, requests per simulated second.
+    rate_per_sec: float = 100.0
+    #: Closed-loop client population and think time between requests.
+    clients: int = 0
+    think_time: int = msec(100)
+    #: CPU burned per request, +- jitter fraction drawn per request.
+    cost: int = usec(500)
+    cost_jitter: float = 0.25
+    #: Per-attempt deadline (enqueue -> dispatch) and retry budget.
+    deadline: int = msec(400)
+    max_retries: int = 2
+    backoff: int = msec(50)
+    #: Ordered tenants flow through a dedicated serializer thread.
+    ordered: bool = False
+    #: Write tenants' requests carry coalesce keys and ride the batcher.
+    writes: bool = False
+    write_keys: int = 8
+    #: Admission patience: 0 sheds immediately, >0 waits (backpressure).
+    admission_timeout: int = 0
+    #: Priority of this tenant's closed-loop client threads.
+    priority: int = 5
+
+
+class Request:
+    """One RPC through the system, across retries."""
+
+    __slots__ = (
+        "rid", "tenant", "submitted", "expires_at", "cost", "attempt",
+        "key", "reply_to", "started_at", "completed_at", "status",
+    )
+
+    def __init__(
+        self,
+        rid: str,
+        tenant: TenantSpec,
+        submitted: int,
+        cost: int,
+        *,
+        key: object = None,
+        reply_to: object = None,
+    ) -> None:
+        self.rid = rid
+        self.tenant = tenant
+        #: First submission time — latency is measured from here, across
+        #: every retry, because that is what the caller experiences.
+        self.submitted = submitted
+        self.expires_at = submitted + tenant.deadline
+        self.cost = cost
+        self.attempt = 0
+        self.key = key
+        self.reply_to = reply_to
+        self.started_at: int | None = None
+        self.completed_at: int | None = None
+        self.status = PENDING
+
+    def rearm(self, now: int) -> None:
+        """Start a fresh attempt: new per-attempt deadline."""
+        self.attempt += 1
+        self.expires_at = now + self.tenant.deadline
+        self.status = PENDING
+
+    def __repr__(self) -> str:
+        return f"<Request {self.rid} {self.status} attempt={self.attempt}>"
+
+
+class ServerStats:
+    """Counters and the latency histogram, global and per tenant."""
+
+    #: The counter kinds every tenant row carries, in report order.
+    KINDS = (
+        "offered", "admitted", "shed", "completed", "coalesced",
+        "timeouts", "retries", "failed", "client_retries", "give_ups",
+    )
+
+    def __init__(self) -> None:
+        self.latency = LatencyHistogram()
+        self.per_tenant: dict[str, dict[str, int]] = {}
+        self.tenant_latency: dict[str, LatencyHistogram] = {}
+        #: (sim_time, admission_depth, shed_so_far) sampled by the
+        #: deadline sleeper — queue depth over time for the SLO report.
+        self.depth_samples: list[tuple[int, int, int]] = []
+        self.batches = 0
+
+    def bump(self, tenant: str, kind: str, amount: int = 1) -> None:
+        row = self.per_tenant.setdefault(tenant, dict.fromkeys(self.KINDS, 0))
+        row[kind] += amount
+
+    def note_latency(self, tenant: str, latency_us: int) -> None:
+        self.latency.record(latency_us)
+        self.tenant_latency.setdefault(tenant, LatencyHistogram()).record(
+            latency_us
+        )
+
+    def total(self, kind: str) -> int:
+        return sum(row[kind] for row in self.per_tenant.values())
+
+    # -- reporting ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "latency": self.latency.to_dict(),
+            "tenants": {
+                name: {
+                    **row,
+                    "latency": self.tenant_latency[name].to_dict()
+                    if name in self.tenant_latency else None,
+                }
+                for name, row in sorted(self.per_tenant.items())
+            },
+            "totals": {kind: self.total(kind) for kind in self.KINDS},
+            "batches": self.batches,
+            "depth_samples": self.depth_samples,
+            "max_depth_sampled": max(
+                (d for _, d, _ in self.depth_samples), default=0
+            ),
+        }
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical stats — the CLI's determinism hash."""
+        return hashlib.sha256(
+            json.dumps(self.to_dict(), sort_keys=True).encode()
+        ).hexdigest()
+
+
+def scenario_tenants(scenario: str) -> tuple[TenantSpec, ...]:
+    """The pinned tenant mixes.
+
+    ``steady``  — offered load ~45% of one simulated CPU: queues stay
+    shallow, deadlines are met, shedding is the exception.
+
+    ``overload`` — the open-loop "api" tenant alone offers ~2x one CPU:
+    admission control must shed instead of letting the queue grow
+    without bound, and the tail shows it.
+    """
+    base = (
+        TenantSpec(
+            name="ordered",
+            mode="open",
+            rate_per_sec=120.0,
+            cost=usec(500),
+            deadline=msec(400),
+            ordered=True,
+        ),
+        TenantSpec(
+            name="writes",
+            mode="open",
+            rate_per_sec=150.0,
+            cost=usec(250),
+            deadline=msec(600),
+            writes=True,
+            write_keys=6,
+            max_retries=1,
+        ),
+        TenantSpec(
+            name="interactive",
+            mode="closed",
+            clients=6,
+            think_time=msec(100),
+            cost=usec(400),
+            deadline=msec(300),
+            priority=5,
+        ),
+    )
+    if scenario == "steady":
+        api = TenantSpec(
+            name="api", mode="open", rate_per_sec=400.0,
+            cost=usec(600), deadline=msec(400),
+        )
+    elif scenario == "overload":
+        api = TenantSpec(
+            name="api", mode="open", rate_per_sec=2600.0,
+            cost=usec(600), deadline=msec(400),
+        )
+    else:
+        raise ValueError(f"unknown server scenario {scenario!r}")
+    return (api, *base)
+
+
+SCENARIO_NAMES = ("steady", "overload")

@@ -1,0 +1,347 @@
+"""The RPC server proper: pump -> admission queue -> worker pool.
+
+Every moving part is one of the paper's paradigms doing its day job:
+
+* a listener :class:`~repro.paradigms.pump.Pump` moves arrivals from the
+  network channel into the ingress queue (devices feed channels, threads
+  drain queues — the Section 4.2 pipeline shape);
+* an admission **router** thread applies backpressure policy at the
+  mouth of a :class:`~repro.sync.queues.BoundedQueue` — full means shed,
+  not grow (the queue says no so the tail latency doesn't have to);
+* a pool of **worker** threads drains the admission queue with *timed*
+  gets, so a stolen NOTIFY under fault injection degrades to a one-tick
+  stall instead of a wedged pool;
+* **ordered** tenants route to a per-tenant serializer thread (Section
+  4.3's serializer: concurrency traded away for order, per tenant, not
+  globally);
+* **write** requests ride a :class:`~repro.paradigms.slack.SlackProcess`
+  that merges same-key writes before paying the per-batch cost (Section
+  5.2's X-server buffer thread, recast as a write-behind batcher);
+* a deadline **sleeper** sweeps expired requests out of the queues every
+  scheduler tick and forks one-shot retry threads with jittered
+  exponential backoff (Section 4.3 sleepers + one-shots).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kernel.primitives import Compute, Enter, Exit, Fork, GetTime, Pause
+from repro.kernel.rng import DeterministicRng
+from repro.kernel.simtime import usec
+from repro.paradigms.pump import Pump
+from repro.paradigms.slack import SlackProcess
+from repro.paradigms.sleeper import Sleeper
+from repro.server.model import (
+    DONE,
+    FAILED,
+    PENDING,
+    SHED,
+    Request,
+    ServerStats,
+    TenantSpec,
+)
+from repro.sync.monitor import Monitor
+from repro.sync.queues import BoundedQueue, UnboundedQueue
+
+#: Bookkeeping costs, deliberately small next to request service costs.
+ROUTE_COST = usec(20)
+LISTEN_COST = usec(10)
+TOUCH_COST = usec(15)
+BATCH_BASE_COST = usec(120)
+BATCH_ITEM_COST = usec(60)
+SERIAL_QUEUE_CAPACITY = 16
+
+#: Thread priorities: ingress above the pool so arrivals keep flowing
+#: under load, everything >= 4 so round-robin keeps the watchdog's
+#: starvation monitor quiet.
+PRIO_LISTENER = 6
+PRIO_ROUTER = 6
+PRIO_SLEEPER = 5
+PRIO_POOL = 4
+
+
+class RpcServer:
+    """A multi-tenant RPC server wired onto a :class:`~repro.runtime.pcr.World`.
+
+    Construction builds the queues; :meth:`start` forks the thread
+    population.  Open-loop generators post :class:`Request` objects into
+    :attr:`net`; closed-loop clients put directly into :attr:`ingress`.
+    """
+
+    def __init__(
+        self,
+        world: Any,
+        tenants: tuple[TenantSpec, ...],
+        *,
+        workers: int = 4,
+        admission_capacity: int = 32,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.world = world
+        self.kernel = world.kernel
+        self.tenants = {t.name: t for t in tenants}
+        self.workers = workers
+        self.stats = ServerStats()
+        #: Timed-get interval: one scheduler quantum, the kernel's
+        #: timeout granularity — anything shorter rounds up to it anyway.
+        self.poll = self.kernel.config.quantum
+
+        self.net = world.add_device("server.net")
+        self.ingress = UnboundedQueue("server.ingress")
+        self.admission = BoundedQueue("server.admission", admission_capacity)
+        self.serial_queues: dict[str, BoundedQueue] = {
+            t.name: BoundedQueue(
+                f"server.serial.{t.name}", SERIAL_QUEUE_CAPACITY
+            )
+            for t in tenants
+            if t.ordered
+        }
+        self.batch_queue = UnboundedQueue(
+            "server.batch", get_timeout=self.poll
+        )
+        #: Shared application state workers touch under a monitor, so the
+        #: server exercises real lock contention (and the race detector).
+        self.table_mon = Monitor("server.table")
+        self.table: dict[str, int] = {}
+        #: Requests merged away by the batcher, drained per delivery.
+        self._superseded: list[Request] = []
+
+        #: Derived RNG streams: request jitter and retry backoff jitter
+        #: are forked per concern so neither perturbs arrival sequences.
+        base = DeterministicRng(self.kernel.config.seed)
+        self.cost_rng = base.fork("server:cost")
+        self.retry_rng = base.fork("server:retry")
+        self.key_rng = base.fork("server:key")
+        self._rid_seq: dict[str, int] = {}
+
+        self.listener = Pump(
+            "server.listener",
+            self.net,
+            self.ingress,
+            cost_per_item=LISTEN_COST,
+        )
+        # Slack: sleep out one quantum so same-key writes pile up before
+        # the per-batch cost is paid (latency added, work saved — §5.2).
+        self.batcher = SlackProcess(
+            "server.batcher",
+            self.batch_queue,
+            self._deliver_batch,
+            merge=self._merge_writes,
+            strategy="sleep",
+            sleep_interval=self.poll,
+            cost_per_batch=BATCH_BASE_COST,
+        )
+        self.sweeper = Sleeper(
+            "server.deadlines", self.poll, self._sweep, work_cost=usec(30)
+        )
+
+    # -- population --------------------------------------------------------
+
+    def start(self) -> None:
+        """Fork the server's thread population."""
+        self.world.add_eternal(
+            self.listener.proc, name=self.listener.name, priority=PRIO_LISTENER
+        )
+        self.world.add_eternal(
+            self._router_proc, name="server.router", priority=PRIO_ROUTER
+        )
+        self.world.add_eternal(
+            self.sweeper.proc, name=self.sweeper.name, priority=PRIO_SLEEPER
+        )
+        for wid in range(self.workers):
+            self.world.add_eternal(
+                self._worker_proc,
+                (wid,),
+                name=f"server.worker.{wid}",
+                priority=PRIO_POOL,
+            )
+        for name in self.serial_queues:
+            self.world.add_eternal(
+                self._serializer_proc,
+                (name,),
+                name=f"server.serial.{name}",
+                priority=PRIO_POOL,
+            )
+        self.world.add_eternal(
+            self.batcher.proc, name=self.batcher.name, priority=PRIO_POOL
+        )
+
+    # -- request fabrication ----------------------------------------------
+
+    def make_request(
+        self,
+        tenant: TenantSpec,
+        now: int,
+        *,
+        reply_to: Any = None,
+    ) -> Request:
+        """Mint a request: deterministic rid, jittered cost, write key."""
+        seq = self._rid_seq.get(tenant.name, 0)
+        self._rid_seq[tenant.name] = seq + 1
+        spread = 2.0 * self.cost_rng.uniform() - 1.0
+        cost = max(1, round(tenant.cost * (1.0 + tenant.cost_jitter * spread)))
+        key = None
+        if tenant.writes:
+            key = f"{tenant.name}:k{self.key_rng.randint(0, tenant.write_keys - 1)}"
+        return Request(
+            f"{tenant.name}-{seq}",
+            tenant,
+            now,
+            cost,
+            key=key,
+            reply_to=reply_to,
+        )
+
+    # -- thread bodies -----------------------------------------------------
+
+    def _router_proc(self):
+        """Admission control: ingress -> bounded queue, or shed."""
+        while True:
+            req = yield from self.ingress.get(timeout=self.poll)
+            if req is None:
+                continue
+            yield Compute(ROUTE_COST)
+            tenant = req.tenant
+            if tenant.ordered:
+                ok = yield from self.serial_queues[tenant.name].try_put(req)
+            else:
+                ok = yield from self.admission.put(
+                    req, timeout=tenant.admission_timeout
+                )
+            if ok:
+                self.stats.bump(tenant.name, "admitted")
+            else:
+                yield from self._shed(req)
+
+    def _worker_proc(self, wid: int):
+        """Pool worker: timed get, deadline check, execute, complete."""
+        del wid  # identity lives in the thread name
+        while True:
+            req = yield from self.admission.get(timeout=self.poll)
+            if req is None:
+                continue
+            yield from self._dispatch(req)
+
+    def _serializer_proc(self, tenant_name: str):
+        """Ordered tenant's serializer: same loop, private queue, so the
+        tenant's requests complete in submission order."""
+        queue = self.serial_queues[tenant_name]
+        while True:
+            req = yield from queue.get(timeout=self.poll)
+            if req is None:
+                continue
+            yield from self._dispatch(req)
+
+    def _dispatch(self, req: Request):
+        """Run one admitted request on the calling thread."""
+        now = yield GetTime()
+        if now >= req.expires_at:
+            yield from self._expire(req)
+            return
+        if req.tenant.writes:
+            # Write-behind: hand to the batcher rather than paying the
+            # full per-request cost here.
+            yield from self.batch_queue.put(req)
+            return
+        req.started_at = now
+        yield Enter(self.table_mon)
+        try:
+            yield Compute(TOUCH_COST)
+            self.table[req.tenant.name] = self.table.get(req.tenant.name, 0) + 1
+        finally:
+            yield Exit(self.table_mon)
+        yield Compute(req.cost)
+        yield from self._complete(req)
+
+    # -- batching ----------------------------------------------------------
+
+    def _merge_writes(self, items: list[Request]) -> list[Request]:
+        """Keep the latest write per key; stash the superseded ones so
+        the delivery step can complete (and count) them too."""
+        merged: dict[Any, Request] = {}
+        for req in items:
+            prev = merged.get(req.key)
+            if prev is not None:
+                self._superseded.append(prev)
+            merged[req.key] = req
+        return list(merged.values())
+
+    def _deliver_batch(self, batch: list[Request]):
+        """SlackProcess delivery: one batch cost, then everyone completes."""
+        superseded, self._superseded = self._superseded, []
+        yield Compute(BATCH_BASE_COST + BATCH_ITEM_COST * len(batch))
+        self.stats.batches += 1
+        now = yield GetTime()
+        for req in batch:
+            if now >= req.expires_at:
+                yield from self._expire(req)
+            else:
+                yield from self._complete(req)
+        for req in superseded:
+            self.stats.bump(req.tenant.name, "coalesced")
+            yield from self._complete(req)
+
+    # -- outcomes ----------------------------------------------------------
+
+    def _complete(self, req: Request):
+        now = yield GetTime()
+        req.completed_at = now
+        req.status = DONE
+        self.stats.bump(req.tenant.name, "completed")
+        self.stats.note_latency(req.tenant.name, now - req.submitted)
+        if req.reply_to is not None:
+            yield from req.reply_to.put((DONE, req))
+
+    def _shed(self, req: Request):
+        """Admission refused: final for open-loop, a retryable verdict
+        for closed-loop clients."""
+        req.status = SHED
+        self.stats.bump(req.tenant.name, "shed")
+        if req.reply_to is not None:
+            yield from req.reply_to.put((SHED, req))
+
+    def _expire(self, req: Request):
+        """Deadline passed before service: retry with jittered backoff
+        (a one-shot thread) until the tenant's budget runs out."""
+        tenant = req.tenant
+        self.stats.bump(tenant.name, "timeouts")
+        if req.attempt < tenant.max_retries:
+            self.stats.bump(tenant.name, "retries")
+            delay = tenant.backoff * (2 ** req.attempt)
+            delay += self.retry_rng.randint(0, tenant.backoff)
+            yield Fork(
+                self._retry_proc,
+                (req, delay),
+                name=f"server.retry.{req.rid}.{req.attempt}",
+                priority=PRIO_SLEEPER,
+                detached=True,
+            )
+        else:
+            req.status = FAILED
+            self.stats.bump(tenant.name, "failed")
+            if req.reply_to is not None:
+                yield from req.reply_to.put((FAILED, req))
+
+    def _retry_proc(self, req: Request, delay: int):
+        """One-shot: sleep out the backoff, then resubmit via ingress."""
+        yield Pause(delay)
+        now = yield GetTime()
+        req.rearm(now)
+        yield from self.ingress.put(req)
+
+    # -- the deadline sleeper ---------------------------------------------
+
+    def _sweep(self):
+        """Per-tick sweep: sample queue depth, prune expired requests."""
+        now = yield GetTime()
+        self.stats.depth_samples.append(
+            (now, len(self.admission), self.stats.total("shed"))
+        )
+        cut = lambda r: r.expires_at <= now and r.status == PENDING
+        expired = yield from self.admission.prune(cut)
+        for queue in self.serial_queues.values():
+            expired += yield from queue.prune(cut)
+        for req in expired:
+            yield from self._expire(req)

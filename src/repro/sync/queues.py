@@ -78,6 +78,124 @@ class UnboundedQueue:
         return len(self.items)
 
 
+class BoundedQueue:
+    """A bounded FIFO with *rejecting* and *timed* puts: an admission queue.
+
+    Where :class:`BoundedBuffer` models a pipeline stage that applies
+    backpressure by blocking forever, a server's admission queue must be
+    able to say **no**: ``try_put`` rejects immediately when full, and
+    ``put(timeout=...)`` gives up after bounded backpressure.  Timed
+    ``get`` lets a pool of consumer threads poll without parking forever
+    on a NOTIFY that a fault (or a bug) might lose.
+
+    All methods are generators run on the calling thread, following the
+    canonical Mesa pattern: one monitor, one CV per waited-for condition,
+    WAIT always re-checked in a WHILE loop.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        *,
+        get_timeout: int | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.monitor = Monitor(f"{name}.lock")
+        self.nonempty = ConditionVariable(
+            self.monitor, f"{name}.nonempty", timeout=get_timeout
+        )
+        self.nonfull = ConditionVariable(self.monitor, f"{name}.nonfull")
+        self.items: deque[Any] = deque()
+        self.puts = 0
+        self.gets = 0
+        #: Puts refused because the queue stayed full (load shed upstream).
+        self.rejects = 0
+        #: High-water mark, for SLO diagnostics.
+        self.max_depth = 0
+
+    def try_put(self, item: Any):
+        """Non-blocking put: True if enqueued, False if full (generator)."""
+        yield Enter(self.monitor)
+        try:
+            if len(self.items) >= self.capacity:
+                self.rejects += 1
+                return False
+            self._append(item)
+            yield Notify(self.nonempty)
+            return True
+        finally:
+            yield Exit(self.monitor)
+
+    def put(self, item: Any, timeout: int | None = None):
+        """Put with bounded backpressure (generator).
+
+        Blocks while full, up to ``timeout`` µs (None blocks forever, 0
+        behaves like :meth:`try_put`).  Returns True if enqueued, False
+        if the queue was still full when patience ran out.
+        """
+        if timeout is not None and timeout <= 0:
+            result = yield from self.try_put(item)
+            return result
+        yield Enter(self.monitor)
+        try:
+            while len(self.items) >= self.capacity:
+                notified = yield Wait(self.nonfull, timeout)
+                if not notified and len(self.items) >= self.capacity:
+                    self.rejects += 1
+                    return False
+            self._append(item)
+            yield Notify(self.nonempty)
+            return True
+        finally:
+            yield Exit(self.monitor)
+
+    def get(self, timeout: int | None = None):
+        """Dequeue the oldest item; None if still empty after ``timeout``
+        (or the queue's default get timeout).  (Generator.)"""
+        yield Enter(self.monitor)
+        try:
+            while not self.items:
+                notified = yield Wait(self.nonempty, timeout)
+                if not notified and not self.items:
+                    return None
+            item = self.items.popleft()
+            self.gets += 1
+            yield Notify(self.nonfull)
+            return item
+        finally:
+            yield Exit(self.monitor)
+
+    def prune(self, predicate: Any):
+        """Remove and return every queued item matching ``predicate``
+        (generator) — the deadline sleeper's expiry sweep.  Wakes one
+        blocked putter per freed slot."""
+        yield Enter(self.monitor)
+        try:
+            kept: deque[Any] = deque()
+            removed: list[Any] = []
+            for item in self.items:
+                (removed if predicate(item) else kept).append(item)
+            self.items = kept
+            for _ in removed:
+                yield Notify(self.nonfull)
+            return removed
+        finally:
+            yield Exit(self.monitor)
+
+    def _append(self, item: Any) -> None:
+        self.items.append(item)
+        self.puts += 1
+        if len(self.items) > self.max_depth:
+            self.max_depth = len(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
 class BoundedBuffer:
     """Classic bounded buffer: put blocks when full, get blocks when empty."""
 

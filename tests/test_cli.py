@@ -105,6 +105,37 @@ class TestCli:
         with pytest.raises(Deadlock):
             main(["wedge"])
 
+    def test_serve_command_prints_slo_report(self, capsys):
+        assert main(["serve", "--duration-ms", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=steady" in out
+        assert "Per-tenant outcomes" in out
+        assert "End-to-end latency" in out
+        assert "stats digest:" in out
+
+    def test_serve_command_is_deterministic(self, capsys):
+        import re
+
+        assert main(["--seed", "5", "serve", "--duration-ms", "500",
+                     "--scenario", "overload"]) == 0
+        first = capsys.readouterr().out
+        assert main(["--seed", "5", "serve", "--duration-ms", "500",
+                     "--scenario", "overload"]) == 0
+        second = capsys.readouterr().out
+        digest = re.compile(r"stats digest: ([0-9a-f]{64})")
+        assert digest.search(first).group(1) == digest.search(second).group(1)
+
+    def test_serve_command_writes_json(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "server.json"
+        assert main(["serve", "--duration-ms", "500", "--workers", "2",
+                     "--policy", "fair_share", "--output", str(output)]) == 0
+        loaded = json.loads(output.read_text())
+        assert loaded["policy"] == "fair_share"
+        assert loaded["workers"] == 2
+        assert loaded["stats"]["latency"]["p99"] >= 0
+
     def test_trace_command_writes_chrome_json(self, capsys, tmp_path):
         output = tmp_path / "trace.json"
         assert main(["trace", str(output)]) == 0

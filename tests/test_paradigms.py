@@ -230,6 +230,29 @@ class TestSlackProcess:
             keys = [item.key for item in batch]
             assert len(keys) == len(set(keys))
 
+    def test_timed_queue_timeout_delivers_no_phantom_batch(self):
+        """A slack process on a default-timeout queue must treat a timed-out
+        (None) get as "poll again", not as an item to batch."""
+        kernel = make_kernel(quantum=msec(50))
+        queue = UnboundedQueue("q", get_timeout=msec(50))
+        delivered = []
+
+        def deliver(batch):
+            delivered.append(list(batch))
+            yield p.Compute(usec(10))
+
+        slack = SlackProcess("buffer", queue, deliver, strategy="ybntm")
+
+        def producer():
+            yield p.Pause(msec(400))  # several empty timeouts first
+            yield from queue.put(_Paint(key=0, burst=0))
+
+        kernel.fork_root(slack.proc, name="buffer", priority=4)
+        kernel.fork_root(producer, name="producer", priority=4)
+        kernel.run_for(sec(1))
+        assert len(delivered) == 1
+        assert all(item is not None for batch in delivered for item in batch)
+
 
 class _Paint:
     def __init__(self, key, burst):

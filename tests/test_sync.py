@@ -15,6 +15,7 @@ from repro.kernel import primitives as p
 from repro.kernel.primitives import Broadcast, Enter, Exit, Notify, Wait
 from repro.sync import (
     BoundedBuffer,
+    BoundedQueue,
     ConditionVariable,
     Monitor,
     UnboundedQueue,
@@ -578,6 +579,173 @@ class TestQueues:
         kernel.run_for(sec(1))
         assert len(kernel.stats.monitors_used) == 8
         assert len(kernel.stats.cvs_used) == 1
+
+
+class TestBoundedQueue:
+    def test_try_put_rejects_when_full(self):
+        kernel = make_kernel()
+        queue = BoundedQueue("q", capacity=2)
+        outcomes = []
+
+        def producer():
+            for n in range(4):
+                outcomes.append((yield from queue.try_put(n)))
+
+        kernel.fork_root(producer)
+        kernel.run_for(msec(10))
+        assert outcomes == [True, True, False, False]
+        assert queue.rejects == 2
+        assert queue.max_depth == 2
+        assert len(queue) == 2
+
+    def test_put_zero_timeout_is_try_put(self):
+        kernel = make_kernel()
+        queue = BoundedQueue("q", capacity=1)
+        outcomes = []
+
+        def producer():
+            outcomes.append((yield from queue.put("a", timeout=0)))
+            outcomes.append((yield from queue.put("b", timeout=0)))
+
+        kernel.fork_root(producer)
+        kernel.run_for(msec(10))
+        assert outcomes == [True, False]
+        assert queue.rejects == 1
+
+    def test_put_timeout_expires_while_full(self):
+        kernel = make_kernel(quantum=msec(50))
+        queue = BoundedQueue("q", capacity=1)
+        outcomes = []
+
+        def producer():
+            yield from queue.put("first")
+            start = yield p.GetTime()
+            ok = yield from queue.put("second", timeout=msec(100))
+            outcomes.append((ok, (yield p.GetTime()) - start))
+
+        kernel.fork_root(producer)
+        kernel.run_for(sec(1))
+        assert outcomes == [(False, msec(100))]
+        assert queue.rejects == 1
+
+    def test_put_timeout_succeeds_when_slot_frees(self):
+        kernel = make_kernel(quantum=msec(50))
+        queue = BoundedQueue("q", capacity=1)
+        outcomes = []
+
+        def producer():
+            yield from queue.put("first")
+            ok = yield from queue.put("second", timeout=msec(500))
+            outcomes.append(ok)
+
+        def consumer():
+            yield p.Pause(msec(100))
+            yield from queue.get()
+
+        kernel.fork_root(producer)
+        kernel.fork_root(consumer)
+        kernel.run_for(sec(1))
+        assert outcomes == [True]
+        assert queue.rejects == 0
+        assert len(queue) == 1
+
+    def test_get_timeout_returns_none_when_empty(self):
+        kernel = make_kernel(quantum=msec(50))
+        queue = BoundedQueue("q", capacity=4, get_timeout=msec(50))
+        results = []
+
+        def consumer():
+            results.append((yield from queue.get()))
+            results.append((yield from queue.get(timeout=msec(100))))
+
+        kernel.fork_root(consumer)
+        kernel.run_for(sec(1))
+        assert results == [None, None]
+
+    def test_multi_consumer_notify_wakes_exactly_one(self):
+        """One put, three blocked consumers: exactly one gets the item,
+        the others time out empty-handed (Mesa exactly-one NOTIFY)."""
+        kernel = make_kernel(quantum=msec(50))
+        queue = BoundedQueue("q", capacity=4)
+        results = []
+
+        def consumer(tag):
+            item = yield from queue.get(timeout=msec(200))
+            results.append((tag, item))
+
+        def producer():
+            yield p.Pause(msec(50))
+            yield from queue.put("only")
+
+        for tag in range(3):
+            kernel.fork_root(consumer, args=(tag,))
+        kernel.fork_root(producer)
+        kernel.run_for(sec(1))
+        delivered = [r for r in results if r[1] is not None]
+        empty = [r for r in results if r[1] is None]
+        assert len(delivered) == 1
+        assert len(empty) == 2
+
+    def test_fifo_order_under_contention(self):
+        """Two producers racing three consumers: items come out in the
+        exact order they went in, no loss, no duplication."""
+        kernel = make_kernel()
+        queue = BoundedQueue("q", capacity=4)
+        put_order = []
+        got_order = []
+
+        def producer(base):
+            for n in range(10):
+                item = base + n
+                ok = yield from queue.put(item)
+                assert ok
+                put_order.append(item)
+                yield p.Compute(usec(30))
+
+        def consumer():
+            while len(got_order) < 20:
+                item = yield from queue.get(timeout=msec(100))
+                if item is not None:
+                    got_order.append(item)
+                    yield p.Compute(usec(70))
+
+        kernel.fork_root(producer, args=(0,))
+        kernel.fork_root(producer, args=(100,))
+        for _ in range(3):
+            kernel.fork_root(consumer)
+        kernel.run_for(sec(5))
+        assert got_order == put_order
+        assert queue.puts == 20
+        assert queue.gets == 20
+
+    def test_prune_removes_matches_and_wakes_putters(self):
+        kernel = make_kernel(quantum=msec(50))
+        queue = BoundedQueue("q", capacity=3)
+        removed_items = []
+        late_put = []
+
+        def producer():
+            for n in range(3):
+                yield from queue.put(n)
+            # Queue is now full; this put blocks until prune frees slots.
+            ok = yield from queue.put(99, timeout=msec(500))
+            late_put.append(ok)
+
+        def pruner():
+            yield p.Pause(msec(100))
+            removed = yield from queue.prune(lambda n: n % 2 == 0)
+            removed_items.extend(removed)
+
+        kernel.fork_root(producer)
+        kernel.fork_root(pruner)
+        kernel.run_for(sec(1))
+        assert removed_items == [0, 2]
+        assert late_put == [True]
+        assert sorted(queue.items) == [1, 99]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedQueue("q", capacity=0)
 
 
 class TestDiagnostics:
