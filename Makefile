@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench bench-perf bench-server golden tables census races chaos serve quick all
+.PHONY: install test lint bench bench-perf bench-server bench-cluster golden tables census races chaos serve cluster quick all
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,11 @@ bench-perf:
 bench-server:
 	PYTHONPATH=src python benchmarks/bench_server.py
 
+# Sharded cluster SLO sweep (routing policy x shard count x admission x
+# mix) plus the single-server baseline; writes BENCH_cluster.json.
+bench-cluster:
+	PYTHONPATH=src python benchmarks/bench_cluster.py
+
 # The golden-schedule determinism guard on its own.
 golden:
 	PYTHONPATH=src python -m pytest tests/test_golden_schedule.py -q
@@ -45,6 +50,10 @@ chaos:
 # The multi-tenant RPC server world with its latency-SLO report.
 serve:
 	PYTHONPATH=src python -m repro serve
+
+# The sharded cluster world (balancer + N shards) with its SLO rollup.
+cluster:
+	PYTHONPATH=src python -m repro cluster
 
 quick:
 	python examples/quickstart.py

@@ -11,19 +11,29 @@ Two ways to run it:
   the overload scenario sheds load instead of growing the admission
   queue without bound, steady-state barely sheds at all, and every grid
   cell reports the full quantile set.
+
+The quantum sweep re-runs the steady scenario under different scheduler
+timeslices (§6.3: timeouts and timed wakeups only fire on quantum
+boundaries), producing a p99-vs-quantum curve: with a 200 ms quantum
+every Pause, CV timeout and channel timeout rounds up to the next
+200 ms tick and tail latency inflates accordingly.
 """
 
 import json
 import sys
 from pathlib import Path
 
-from repro.kernel.simtime import sec
+from repro.kernel.simtime import msec, sec
 from repro.server.world import run_server
 
 SCENARIOS = ("steady", "overload")
 POLICIES = ("strict", "fair_share")
 POOL_SIZES = (2, 6)
 ADMISSION_CAPACITY = 32
+
+#: §6.3 timeslice sensitivity: the paper's 50 ms default bracketed by a
+#: near-immediate tick and a coarse legacy-style quantum.
+QUANTA = (msec(1), msec(20), msec(50), msec(200))
 
 FULL_RUN = sec(2)
 QUICK_RUN = sec(1)
@@ -57,6 +67,36 @@ def run_grid(duration: int = FULL_RUN, *, progress=None) -> list[dict]:
     return cells
 
 
+def run_quantum_sweep(duration: int = FULL_RUN, *, progress=None) -> list[dict]:
+    """The steady scenario under each scheduler timeslice in QUANTA."""
+    say = progress or (lambda line: None)
+    points = []
+    for quantum in QUANTA:
+        report = run_server(
+            scenario="steady",
+            admission_capacity=ADMISSION_CAPACITY,
+            duration=duration,
+            config_overrides={"quantum": quantum},
+        )
+        latency = report.to_dict()["stats"]["latency"]
+        point = {
+            "quantum_us": quantum,
+            "throughput_per_sec": report.to_dict()["throughput_per_sec"],
+            "shed_fraction": report.to_dict()["shed_fraction"],
+            "p50": latency["p50"],
+            "p99": latency["p99"],
+            "p999": latency["p999"],
+            "digest": report.digest,
+        }
+        say(
+            f"  quantum {quantum / 1000:>5g} ms: "
+            f"{point['throughput_per_sec']:>7.1f} req/s  "
+            f"p50={point['p50'] / 1000:.1f}ms p99={point['p99'] / 1000:.1f}ms"
+        )
+        points.append(point)
+    return points
+
+
 # ---------------------------------------------------------------------------
 # pytest acceptance entry points
 # ---------------------------------------------------------------------------
@@ -86,6 +126,22 @@ def test_server_grid_slo_report():
         assert cell["shed_fraction"] < 0.05
 
 
+def test_quantum_sweep_slo_sensitivity():
+    """§6.3: tail latency degrades as the scheduler quantum coarsens —
+    timed wakeups only fire on quantum boundaries, so a coarse timeslice
+    quantises every timeout and client retry up to the next tick."""
+    points = run_quantum_sweep(QUICK_RUN)
+    assert len(points) == len(QUANTA)
+    by_quantum = {p["quantum_us"]: p for p in points}
+    fine, coarse = by_quantum[QUANTA[0]], by_quantum[QUANTA[-1]]
+    assert coarse["p99"] > fine["p99"], (
+        f"coarse quantum p99 {coarse['p99']} should exceed fine-quantum "
+        f"p99 {fine['p99']}"
+    )
+    for point in points:
+        assert point["throughput_per_sec"] > 0
+
+
 def test_server_digest_is_deterministic():
     """Same seed and knobs => identical stats digest."""
     first = run_server(scenario="steady", duration=QUICK_RUN)
@@ -112,6 +168,8 @@ def main(argv: list[str]) -> int:
     duration = QUICK_RUN if quick else FULL_RUN
     print(f"server SLO sweep ({duration // 1_000_000}s simulated per cell):")
     cells = run_grid(duration, progress=print)
+    print("quantum sweep (steady scenario, p99 vs timeslice):")
+    quantum_sweep = run_quantum_sweep(duration, progress=print)
     payload = {
         "duration_us": duration,
         "admission_capacity": ADMISSION_CAPACITY,
@@ -121,6 +179,7 @@ def main(argv: list[str]) -> int:
             "pool_sizes": list(POOL_SIZES),
         },
         "runs": cells,
+        "quantum_sweep": quantum_sweep,
     }
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output}")

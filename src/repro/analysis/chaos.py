@@ -22,6 +22,11 @@ invariants the paper's systems earned the hard way:
   wakeup, one via a plain ABBA lock cycle — and the sweep asserts the
   watchdog reported exactly that cycle while an unrelated daemon kept
   running.
+* **A wedged shard is congestion, not deadlock.**  A directed cluster
+  scenario stalls every completion path of one shard; the balancer's
+  health probe must trip and re-route the queued work to the surviving
+  shard, and the watchdog must report nothing — threads burning CPU
+  behind a breaker are live, not wedged on each other.
 * **Faults off ≡ no faults.**  A plan with every rate at zero (plus the
   watchdog) must reproduce the pinned golden schedule hashes exactly,
   proving the injection seams are free when disarmed.
@@ -48,6 +53,8 @@ from repro.sync.condition import (
     await_condition,
     await_condition_if_broken,
 )
+from repro.cluster.world import build_cluster_world
+from repro.server.model import TenantSpec
 from repro.server.world import build_server_world
 from repro.sync.monitor import Monitor
 from repro.workloads import build_cedar_world, build_gvx_world
@@ -188,6 +195,94 @@ def _server_chaos(scenario):
     return build
 
 
+def _cluster_chaos(scenario):
+    """The sharded cluster world under faults: two shards, the balancer
+    pipeline, WFQ admission.  Stolen NOTIFYs on the credit CV must
+    degrade to one-tick dispatch stalls (the wait is timed), and kills
+    anywhere in the pipeline must not leak monitors."""
+
+    def build(config: KernelConfig):
+        config.ncpus = 2
+        world, _balancer = build_cluster_world(config, scenario=scenario)
+        return world.kernel, world.shutdown
+
+    return build
+
+
+def _make_cluster_wedge():
+    """Directed: wedge one shard, assert the breaker story end to end.
+
+    Poison requests with effectively-infinite compute occupy every
+    worker of shard 0 (plus its serializer), so its outcome counters
+    stop while its queues hold work.  The balancer's health sleeper must
+    trip the breaker, evacuate the queued requests and re-dispatch them
+    (bounded one-shots), traffic must keep completing on the surviving
+    shard, and the watchdog must stay quiet throughout — a wedged shard
+    is congestion, not deadlock.
+    """
+    state: dict[str, Any] = {}
+
+    def build(config: KernelConfig):
+        config.ncpus = 2
+        world, balancer = build_cluster_world(config, scenario="steady")
+        state["balancer"] = balancer
+        shard0 = balancer.shards[0]
+        poison = TenantSpec(
+            name="poison",
+            mode="open",
+            cost=sec(30),
+            cost_jitter=0.0,
+            deadline=sec(10),
+            max_retries=0,
+        )
+        ordered_poison = TenantSpec(
+            name="ordered",
+            mode="open",
+            cost=sec(30),
+            cost_jitter=0.0,
+            deadline=sec(10),
+            max_retries=0,
+            ordered=True,
+        )
+
+        def inject(k):
+            # One per worker wedges the pool; one more wedges the
+            # ordered serializer, so no completion path stays open.
+            for _ in range(shard0.workers):
+                shard0.net.post(shard0.make_request(poison, k.now))
+            shard0.net.post(shard0.make_request(ordered_poison, k.now))
+
+        world.kernel.post_at(msec(5), inject)
+        return world.kernel, world.shutdown
+
+    def post_check(kernel: Kernel) -> list[str]:
+        balancer = state.get("balancer")
+        if balancer is None:
+            return ["wedge: balancer never built"]
+        failures = []
+        if balancer.trips < 1:
+            failures.append("wedge: health probe never tripped the breaker")
+        if balancer.reroutes < 1:
+            failures.append("wedge: no queued request was re-routed")
+        survivors = sum(
+            shard.stats.total("completed")
+            for sid, shard in enumerate(balancer.shards)
+            if sid != 0
+        )
+        if survivors == 0:
+            failures.append("wedge: no completions on the surviving shards")
+        if kernel.watchdog is not None and kernel.watchdog.deadlocks:
+            failures.append(
+                "wedge: watchdog reported a deadlock for a congested shard"
+            )
+        return failures
+
+    return build, post_check
+
+
+_CLUSTER_WEDGE_BUILD, _CLUSTER_WEDGE_CHECK = _make_cluster_wedge()
+
+
 def _wait_if_deadlock(config: KernelConfig):
     """Directed: an injected spurious wakeup springs the §5.3 IF-not-WHILE
     anti-pattern into an ABBA monitor cycle, while a daemon keeps running.
@@ -275,6 +370,10 @@ class ChaosScenario:
     expect_deadlock: bool = False
     #: Fixed plan for directed scenarios (None -> sampled).
     plan: FaultPlan | None = None
+    #: Scenario-specific invariants, run against the live kernel after
+    #: the generic checks (directed cluster scenarios assert breaker
+    #: state the generic invariants cannot see).
+    post_check: Callable[[Kernel], list] | None = None
 
 
 SWEEP_SCENARIOS: tuple[ChaosScenario, ...] = (
@@ -301,6 +400,8 @@ SWEEP_SCENARIOS: tuple[ChaosScenario, ...] = (
     ChaosScenario("fork-churn", _fork_churn),
     ChaosScenario("server-steady", _server_chaos("steady")),
     ChaosScenario("server-overload", _server_chaos("overload")),
+    ChaosScenario("cluster-steady", _cluster_chaos("steady")),
+    ChaosScenario("cluster-skewed", _cluster_chaos("skewed")),
 )
 
 DIRECTED_SCENARIOS: tuple[ChaosScenario, ...] = (
@@ -315,6 +416,12 @@ DIRECTED_SCENARIOS: tuple[ChaosScenario, ...] = (
         _abba_deadlock,
         expect_deadlock=True,
         plan=FaultPlan(),
+    ),
+    ChaosScenario(
+        "cluster-wedged-shard",
+        _CLUSTER_WEDGE_BUILD,
+        plan=FaultPlan(),
+        post_check=_CLUSTER_WEDGE_CHECK,
     ),
 )
 
@@ -467,6 +574,8 @@ def run_one(scenario: ChaosScenario, plan: FaultPlan, seed: int) -> RunRecord:
         record.failures.extend(
             check_invariants(kernel, expect_deadlock=scenario.expect_deadlock)
         )
+        if scenario.post_check is not None:
+            record.failures.extend(scenario.post_check(kernel))
     finally:
         shutdown()
     # 5. Post-shutdown: everything returned.

@@ -1,11 +1,11 @@
 """Golden-schedule scenarios and fingerprinting, as a library.
 
 The determinism guard (``tests/test_golden_schedule.py``) pins SHA-256
-digests of fifteen scenarios' full trace streams and final statistics.
+digests of seventeen scenarios' full trace streams and final statistics.
 This module holds the scenario bodies and the fingerprint function so
 other consumers can run the same scenarios under varied configuration:
 
-* the watchdog false-positive tests run all fifteen with the watchdog
+* the watchdog false-positive tests run every scenario with the watchdog
   enabled and assert both zero reports *and* fingerprint equality with
   the pinned hashes (observers must be passive);
 * the chaos runner (:mod:`repro.analysis.chaos`) re-verifies the pins in
@@ -425,6 +425,26 @@ def _server_scenario(scenario):
     return run
 
 
+def _cluster_scenario(scenario):
+    """The sharded cluster world: balancer, WFQ admission, two shards."""
+
+    def run(config_overrides: dict | None = None, probe: Probe | None = None) -> dict:
+        from repro.cluster.world import build_cluster_world
+
+        world, _balancer = build_cluster_world(
+            _config(dict(seed=0, trace=True, ncpus=2), config_overrides),
+            scenario=scenario,
+        )
+        world.run_for(WORLD_RUN)
+        if probe is not None:
+            probe(world.kernel)
+        result = fingerprint(world.kernel)
+        world.shutdown()
+        return result
+
+    return run
+
+
 SCENARIOS: dict[str, Callable[..., dict]] = {
     "cedar-idle": _world_scenario(build_cedar_world, CEDAR_ACTIVITIES, "idle"),
     "cedar-keyboard": _world_scenario(
@@ -445,6 +465,8 @@ SCENARIOS: dict[str, Callable[..., dict]] = {
     "weak-memory": _weak_memory_scenario,
     "server-steady": _server_scenario("steady"),
     "server-overload": _server_scenario("overload"),
+    "cluster-steady": _cluster_scenario("steady"),
+    "cluster-skewed": _cluster_scenario("skewed"),
 }
 
 

@@ -127,6 +127,60 @@ def format_server_report(report: dict) -> str:
     return "\n".join(lines)
 
 
+def format_cluster_report(report: dict) -> str:
+    """The full ``cluster`` output for a ``ClusterReport.to_dict()``."""
+    merged = report["merged"]
+    balancer = report["balancer"]
+    seconds = report["duration_us"] / 1_000_000
+    health = (
+        f"trips {balancer['trips']}, recoveries {balancer['recoveries']}, "
+        f"reroutes {balancer['reroutes']}"
+    )
+    shard_rows = []
+    for sid, stats in enumerate(report["per_shard"]):
+        totals = stats["totals"]
+        latency = stats["latency"]
+        shard_rows.append([
+            f"shard{sid}",
+            "up" if balancer["healthy"][sid] else "DOWN",
+            balancer["dispatched"][sid],
+            totals["completed"],
+            totals["shed"],
+            totals["timeouts"],
+            balancer["rerouted_away"][sid],
+            f"{latency['p50'] / 1000:.1f}ms" if latency["total"] else "-",
+            f"{latency['p99'] / 1000:.1f}ms" if latency["total"] else "-",
+        ])
+    lines = [
+        f"cluster scenario={report['scenario']} seed={report['seed']} "
+        f"shards={report['shards']}x{report['workers_per_shard']}w "
+        f"policy={report['policy']} admission={report['admission']} "
+        f"run={seconds:g}s",
+        f"throughput {report['throughput_per_sec']:.1f} req/s, "
+        f"shed {100 * report['shed_fraction']:.1f}%, "
+        f"dispatch window {balancer['window']}/shard, {health}",
+        "",
+        format_table(
+            "Per-shard outcomes",
+            ["shard", "health", "dispatched", "completed", "shed",
+             "timeouts", "rerouted", "p50", "p99"],
+            shard_rows,
+        ),
+        "",
+        format_server_counters(merged),
+        "",
+        format_latency_histogram("Cluster end-to-end latency",
+                                 merged["latency"]),
+        "",
+        f"cluster digest: {report['digest']}",
+    ]
+    throttled = {k: v for k, v in balancer.get("throttled", {}).items() if v}
+    if throttled:
+        noted = ", ".join(f"{k}={v}" for k, v in sorted(throttled.items()))
+        lines.insert(2, f"token-bucket throttled: {noted}")
+    return "\n".join(lines)
+
+
 def ratio(measured: float, paper: float) -> str:
     """measured/paper as a compact ratio string ("-" when undefined)."""
     if paper == 0:

@@ -274,6 +274,31 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         print(f"wrote JSON report to {args.output}")
 
 
+def _cmd_cluster(args: argparse.Namespace) -> None:
+    """Run the sharded cluster world and print the SLO rollup."""
+    import json
+
+    from repro.analysis.report import format_cluster_report
+    from repro.cluster.world import run_cluster
+    from repro.kernel.simtime import msec
+
+    report = run_cluster(
+        seed=args.seed,
+        scenario=args.scenario,
+        shards=args.shards,
+        workers_per_shard=args.workers_per_shard,
+        policy=args.policy,
+        admission=args.admission,
+        admission_capacity=args.capacity,
+        duration=msec(args.duration_ms),
+    )
+    print(format_cluster_report(report.to_dict()))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote JSON report to {args.output}")
+
+
 def _cmd_trace(args: argparse.Namespace) -> None:
     """Run an idle Cedar world with tracing on and export artifacts."""
     from repro.analysis.chrome_trace import write_chrome_trace
@@ -313,6 +338,9 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "serve": (_cmd_serve, "run the multi-tenant RPC server world and print "
                           "its latency-SLO report (p50/p95/p99/p999, "
                           "shed/timeout/retry counters, stats digest)"),
+    "cluster": (_cmd_cluster, "run the sharded cluster world (balancer + "
+                              "N shards) and print the merged SLO rollup "
+                              "with per-shard health"),
     "trace": (_cmd_trace, "render a 100 ms event history; optionally "
                           "export a Chrome trace JSON"),
 }
@@ -353,6 +381,32 @@ def main(argv: list[str] | None = None) -> int:
                              help="scheduler policy (default strict)")
             sub.add_argument("--capacity", type=int, default=32,
                              help="admission queue capacity (default 32)")
+            sub.add_argument("--duration-ms", type=int, default=2000,
+                             help="simulated run length in ms (default 2000)")
+            sub.add_argument("--output", default=None,
+                             help="write the JSON report here")
+        if name == "cluster":
+            from repro.cluster import (
+                ADMISSION_POLICIES,
+                BALANCER_POLICIES,
+                CLUSTER_SCENARIOS,
+            )
+
+            sub.add_argument("--scenario", default="steady",
+                             choices=list(CLUSTER_SCENARIOS),
+                             help="tenant mix (default steady)")
+            sub.add_argument("--shards", type=int, default=2,
+                             help="RPC-server shards (default 2)")
+            sub.add_argument("--workers-per-shard", type=int, default=4,
+                             help="worker pool per shard (default 4)")
+            sub.add_argument("--policy", default="p2c",
+                             choices=list(BALANCER_POLICIES),
+                             help="balancer routing policy (default p2c)")
+            sub.add_argument("--admission", default="wfq",
+                             choices=list(ADMISSION_POLICIES),
+                             help="balancer admission policy (default wfq)")
+            sub.add_argument("--capacity", type=int, default=64,
+                             help="balancer admission capacity (default 64)")
             sub.add_argument("--duration-ms", type=int, default=2000,
                              help="simulated run length in ms (default 2000)")
             sub.add_argument("--output", default=None,

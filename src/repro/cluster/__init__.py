@@ -1,0 +1,40 @@
+"""The sharded cluster world: balancer, admission policy, SLO rollups.
+
+One layer up from :mod:`repro.server`: N RPC-server shards on one
+simulated kernel (``ncpus == shards`` by default — a shard per machine)
+behind a load-balancer thread pipeline with pluggable routing (static
+hash / round robin / power of two choices), per-tenant weighted-fair
+or drop-tail admission with optional token-bucket rate limits, and a
+sleeper-driven shard health breaker that evacuates and re-routes the
+queued work of a wedged shard.
+"""
+
+from repro.cluster.admission import TokenBucket, WfqQueue
+from repro.cluster.balancer import (
+    ADMISSION_POLICIES,
+    BALANCER_POLICIES,
+    LoadBalancer,
+)
+from repro.cluster.model import CLUSTER_SCENARIOS, cluster_tenants
+from repro.cluster.world import (
+    ClusterReport,
+    build_cluster_world,
+    merge_cluster_stats,
+    run_cluster,
+    summarize_cluster,
+)
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "BALANCER_POLICIES",
+    "CLUSTER_SCENARIOS",
+    "ClusterReport",
+    "LoadBalancer",
+    "TokenBucket",
+    "WfqQueue",
+    "build_cluster_world",
+    "cluster_tenants",
+    "merge_cluster_stats",
+    "run_cluster",
+    "summarize_cluster",
+]

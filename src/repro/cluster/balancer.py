@@ -1,0 +1,439 @@
+"""The cluster front door: admission, routing, and shard health.
+
+The balancer is the same pipeline shape as the server it fronts — every
+stage is one of the paper's paradigms, one layer up:
+
+* a listener :class:`~repro.paradigms.pump.Pump` moves arrivals from the
+  cluster's network channel into the balancer ingress queue;
+* an **admission** thread applies per-tenant policy at the mouth of the
+  cluster: a :class:`~repro.cluster.admission.TokenBucket` hard-caps any
+  tenant with a configured rate limit, then the request enters either a
+  shared drop-tail :class:`~repro.sync.queues.BoundedQueue` or a
+  per-tenant :class:`~repro.cluster.admission.WfqQueue` (the policy
+  under test);
+* a **dispatcher** thread drains the admission queue and routes each
+  request to a shard chosen by the configured policy — ``hash`` (static
+  tenant affinity), ``rr`` (round robin), or ``p2c`` (power of two
+  choices over outstanding work).  Dispatch is *credit gated*: a shard
+  with a full window of outstanding requests is ineligible, so cluster
+  backlog accumulates in the balancer's admission queue — where WFQ can
+  see tenants — rather than in anonymous shard queues;
+* a **health** :class:`~repro.paradigms.sleeper.Sleeper` probes each
+  shard's completion counters.  A shard holding queued work while its
+  counters sit still collects strikes; enough strikes trip the breaker:
+  the shard is marked unhealthy, its queued requests are pruned and
+  re-dispatched through the balancer via detached one-shot threads with
+  jittered backoff (bounded by :data:`MAX_REROUTES` — a request is
+  failed rather than bounced forever).  The breaker closes only when
+  the shard's counters *advance*, never on depth alone, so a wedged
+  shard that merely drained does not win traffic back.
+
+The balancer exposes the same frontend protocol as
+:class:`~repro.server.server.RpcServer` (``net``/``ingress``,
+``make_request``, ``stats``, ``poll``, ``world``/``kernel``, ``name``),
+so the traffic generators in :mod:`repro.server.clients` drive a cluster
+and a single server interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+from zlib import crc32
+
+from repro.kernel.primitives import (
+    Compute,
+    Enter,
+    Exit,
+    Fork,
+    GetTime,
+    Notify,
+    Pause,
+    Wait,
+)
+from repro.kernel.rng import DeterministicRng
+from repro.kernel.simtime import msec, usec
+from repro.paradigms.pump import Pump
+from repro.paradigms.sleeper import Sleeper
+from repro.server.model import (
+    FAILED,
+    PENDING,
+    SHED,
+    Request,
+    RequestFactory,
+    ServerStats,
+    TenantSpec,
+)
+from repro.server.server import RpcServer
+from repro.cluster.admission import TokenBucket, WfqQueue
+from repro.sync.condition import ConditionVariable
+from repro.sync.monitor import Monitor
+from repro.sync.queues import BoundedQueue, UnboundedQueue
+
+#: Balancer bookkeeping costs — small next to request service costs.
+ADMIT_COST = usec(15)
+DISPATCH_COST = usec(20)
+
+#: Outstanding-request credit per shard worker: the dispatcher keeps at
+#: most ``window = CREDITS_PER_WORKER * workers`` requests in flight per
+#: shard — enough to keep every worker fed through a dispatch round
+#: trip, small enough that backlog pools at the balancer (where the
+#: admission policy can see tenants) instead of in anonymous shard
+#: queues.
+CREDITS_PER_WORKER = 4
+
+#: Health probe: consecutive no-progress-while-loaded observations
+#: before the breaker trips, and the backoff envelope for re-dispatch.
+PROBE_STRIKES = 2
+MAX_REROUTES = 2
+REROUTE_BACKOFF = msec(20)
+
+#: Same priority bands as the server: ingress above the pool, the
+#: sleeper in between, everything >= 4 for the starvation monitor.
+PRIO_FRONT = 6
+PRIO_SLEEPER = 5
+
+BALANCER_POLICIES = ("hash", "rr", "p2c")
+ADMISSION_POLICIES = ("drop_tail", "wfq")
+
+
+class LoadBalancer:
+    """Route requests across ``shards`` with pluggable pick policy and
+    per-tenant admission (see module docstring)."""
+
+    def __init__(
+        self,
+        world: Any,
+        shards: tuple[RpcServer, ...],
+        tenants: tuple[TenantSpec, ...],
+        *,
+        policy: str = "p2c",
+        admission_policy: str = "wfq",
+        admission_capacity: int = 64,
+        name: str = "lb",
+    ) -> None:
+        if not shards:
+            raise ValueError("need at least one shard")
+        if policy not in BALANCER_POLICIES:
+            raise ValueError(f"unknown balancer policy {policy!r}")
+        if admission_policy not in ADMISSION_POLICIES:
+            raise ValueError(f"unknown admission policy {admission_policy!r}")
+        self.world = world
+        self.kernel = world.kernel
+        self.shards = shards
+        self.tenants = {t.name: t for t in tenants}
+        self.policy = policy
+        self.admission_policy = admission_policy
+        self.name = name
+        self.stats = ServerStats()
+        self.poll = self.kernel.config.quantum
+
+        self.net = world.add_device(f"{name}.net")
+        self.ingress = UnboundedQueue(f"{name}.ingress")
+        if admission_policy == "wfq":
+            self.admission: Any = WfqQueue(
+                f"{name}.admission",
+                max(1, admission_capacity // max(1, len(tenants))),
+                {t.name: t.weight for t in tenants},
+            )
+        else:
+            self.admission = BoundedQueue(
+                f"{name}.admission", admission_capacity
+            )
+        #: Per-tenant token buckets; only tenants with a configured rate
+        #: limit get one (0 disables).
+        self.buckets: dict[str, TokenBucket] = {
+            t.name: TokenBucket(t.rate_limit_per_sec, t.burst)
+            for t in tenants
+            if t.rate_limit_per_sec > 0
+        }
+
+        self.factory = RequestFactory(self.kernel.config.seed, name)
+        self.retry_rng = self.factory.retry_rng
+        self.pick_rng = DeterministicRng(self.kernel.config.seed).fork(
+            f"{name}:pick"
+        )
+
+        nshards = len(shards)
+        #: Credit window per shard (see CREDITS_PER_WORKER).
+        self.window = max(
+            CREDITS_PER_WORKER, CREDITS_PER_WORKER * shards[0].workers
+        )
+        self.healthy = [True] * nshards
+        #: Requests handed to each shard since boot (never decremented;
+        #: inflight is derived against the shard's outcome counters).
+        self.dispatched = [0] * nshards
+        #: Requests pruned back out of a tripped shard's queues.
+        self.rerouted_away = [0] * nshards
+        self._strikes = [0] * nshards
+        self._last_done = [0] * nshards
+        self._rr = 0
+        #: Breaker events, for reports and the chaos invariants.
+        self.trips = 0
+        self.recoveries = 0
+        self.reroutes = 0
+
+        #: Credit wakeup: every shard terminal outcome (complete, shed,
+        #: fail) notifies here, so the dispatcher blocks *on an event*
+        #: when every shard is at its window — timed waits alone would
+        #: quantize dispatch to scheduler ticks (timeouts have timeslice
+        #: granularity) and cap throughput at one window per quantum.
+        self.credit_mon = Monitor(f"{name}.credit")
+        self.credit_cv = ConditionVariable(self.credit_mon, f"{name}.credit.cv")
+        for shard in shards:
+            shard.on_outcome = self._credit_hook
+
+        self.listener = Pump(
+            f"{name}.listener",
+            self.net,
+            self.ingress,
+            cost_per_item=usec(10),
+        )
+        self.health = Sleeper(
+            f"{name}.health", 2 * self.poll, self._probe, work_cost=usec(30)
+        )
+
+    # -- population --------------------------------------------------------
+
+    def start(self) -> None:
+        """Fork the balancer's thread population (shards start themselves)."""
+        self.world.add_eternal(
+            self.listener.proc, name=self.listener.name, priority=PRIO_FRONT
+        )
+        self.world.add_eternal(
+            self._admit_proc, name=f"{self.name}.admit", priority=PRIO_FRONT
+        )
+        self.world.add_eternal(
+            self._dispatch_proc,
+            name=f"{self.name}.dispatch",
+            priority=PRIO_FRONT,
+        )
+        self.world.add_eternal(
+            self.health.proc, name=self.health.name, priority=PRIO_SLEEPER
+        )
+
+    # -- the frontend protocol ---------------------------------------------
+
+    def make_request(
+        self,
+        tenant: TenantSpec,
+        now: int,
+        *,
+        reply_to: Any = None,
+        intended: int | None = None,
+    ) -> Request:
+        return self.factory.make(
+            tenant, now, reply_to=reply_to, intended=intended
+        )
+
+    # -- shard accounting ---------------------------------------------------
+
+    def shard_done(self, sid: int) -> int:
+        """Terminal outcomes a shard has produced (its progress counter)."""
+        stats = self.shards[sid].stats
+        return (
+            stats.total("completed")
+            + stats.total("shed")
+            + stats.total("failed")
+        )
+
+    def inflight(self, sid: int) -> int:
+        """Requests dispatched to a shard and not yet resolved there."""
+        return max(
+            0,
+            self.dispatched[sid]
+            - self.shard_done(sid)
+            - self.rerouted_away[sid],
+        )
+
+    def shard_depth(self, sid: int) -> int:
+        """Queued (not yet executing) requests held by a shard."""
+        shard = self.shards[sid]
+        depth = len(shard.ingress) + len(shard.admission)
+        for queue in shard.serial_queues.values():
+            depth += len(queue)
+        return depth
+
+    # -- thread bodies -----------------------------------------------------
+
+    def _admit_proc(self):
+        """Token-bucket gate, then the admission queue (or shed)."""
+        while True:
+            req = yield from self.ingress.get(timeout=self.poll)
+            if req is None:
+                continue
+            yield Compute(ADMIT_COST)
+            tenant = req.tenant
+            bucket = self.buckets.get(tenant.name)
+            if bucket is not None:
+                now = yield GetTime()
+                if not bucket.take(now):
+                    yield from self._shed(req)
+                    continue
+            ok = yield from self.admission.put(
+                req, timeout=tenant.admission_timeout
+            )
+            if not ok:
+                yield from self._shed(req)
+
+    def _dispatch_proc(self):
+        """Drain admission in policy order; route to an eligible shard."""
+        while True:
+            req = yield from self.admission.get(timeout=self.poll)
+            if req is None:
+                continue
+            yield Compute(DISPATCH_COST)
+            while True:
+                sid = self._pick_shard(req)
+                if sid is not None:
+                    break
+                # Every shard tripped or at its window: hold the request
+                # until an outcome hook signals a freed credit.  The
+                # timeout is a backstop (health recovery does not signal
+                # this CV), not the cadence.
+                yield Enter(self.credit_mon)
+                try:
+                    yield Wait(self.credit_cv, self.poll)
+                finally:
+                    yield Exit(self.credit_mon)
+            self.dispatched[sid] += 1
+            yield from self.shards[sid].ingress.put(req)
+
+    def _credit_hook(self):
+        """Installed as every shard's ``on_outcome``: wake the dispatcher."""
+        yield Enter(self.credit_mon)
+        try:
+            yield Notify(self.credit_cv)
+        finally:
+            yield Exit(self.credit_mon)
+
+    def _pick_shard(self, req: Request) -> int | None:
+        eligible = [
+            sid
+            for sid in range(len(self.shards))
+            if self.healthy[sid] and self.inflight(sid) < self.window
+        ]
+        if not eligible:
+            return None
+        if self.policy == "hash":
+            start = crc32(req.tenant.name.encode()) % len(self.shards)
+            for offset in range(len(self.shards)):
+                sid = (start + offset) % len(self.shards)
+                if sid in eligible:
+                    return sid
+            return None  # pragma: no cover - eligible is non-empty
+        if self.policy == "rr":
+            for _ in range(len(self.shards)):
+                sid = self._rr % len(self.shards)
+                self._rr += 1
+                if sid in eligible:
+                    return sid
+            return None  # pragma: no cover - eligible is non-empty
+        # p2c: probe two (deterministic) picks, take the shorter queue.
+        first = eligible[self.pick_rng.randint(0, len(eligible) - 1)]
+        second = eligible[self.pick_rng.randint(0, len(eligible) - 1)]
+        return first if self.inflight(first) <= self.inflight(second) else second
+
+    # -- the health sleeper -------------------------------------------------
+
+    def _probe(self):
+        """Per-tick probe: strike wedged shards, trip, reroute, recover.
+
+        Also sweeps the balancer's own admission queue for requests that
+        expired while waiting for credit (mirroring the shard deadline
+        sleeper), so cluster-level queueing honours the same deadlines.
+        """
+        now = yield GetTime()
+        self.stats.depth_samples.append(
+            (now, len(self.admission), self.stats.total("shed"))
+        )
+        for sid in range(len(self.shards)):
+            done = self.shard_done(sid)
+            if done > self._last_done[sid]:
+                self._last_done[sid] = done
+                self._strikes[sid] = 0
+                if not self.healthy[sid]:
+                    # Progress is the only way back in.
+                    self.healthy[sid] = True
+                    self.recoveries += 1
+                continue
+            if not self.healthy[sid]:
+                continue
+            if self.shard_depth(sid) == 0 and self.inflight(sid) == 0:
+                self._strikes[sid] = 0  # idle, not wedged
+                continue
+            self._strikes[sid] += 1
+            if self._strikes[sid] >= PROBE_STRIKES:
+                self.healthy[sid] = False
+                self.trips += 1
+                yield from self._evacuate(sid)
+        cut = lambda r: r.expires_at <= now and r.status == PENDING
+        expired = yield from self.admission.prune(cut)
+        for req in expired:
+            yield from self._expire(req)
+
+    def _evacuate(self, sid: int):
+        """Pull queued work off a tripped shard and re-dispatch it."""
+        shard = self.shards[sid]
+        queued = lambda r: r.status == PENDING
+        moved = yield from shard.ingress.prune(queued)
+        moved += yield from shard.admission.prune(queued)
+        for queue in shard.serial_queues.values():
+            moved += yield from queue.prune(queued)
+        for req in moved:
+            self.rerouted_away[sid] += 1
+            req.reroutes += 1
+            if req.reroutes > MAX_REROUTES:
+                yield from self._fail(req)
+                continue
+            self.reroutes += 1
+            self.stats.bump(req.tenant.name, "retries")
+            delay = REROUTE_BACKOFF * req.reroutes
+            delay += self.retry_rng.randint(0, REROUTE_BACKOFF)
+            yield Fork(
+                self._reroute_proc,
+                (req, delay),
+                name=f"{self.name}.reroute.{req.rid}.{req.reroutes}",
+                priority=PRIO_SLEEPER,
+                detached=True,
+            )
+
+    def _reroute_proc(self, req: Request, delay: int):
+        """One-shot: back off, rearm the deadline, rejoin at the front."""
+        yield Pause(delay)
+        now = yield GetTime()
+        req.rearm(now)
+        yield from self.ingress.put(req)
+
+    # -- outcomes ----------------------------------------------------------
+
+    def _shed(self, req: Request):
+        """Cluster admission refused (bucket dry or queue full)."""
+        req.status = SHED
+        self.stats.bump(req.tenant.name, "shed")
+        if req.reply_to is not None:
+            yield from req.reply_to.put((SHED, req))
+
+    def _fail(self, req: Request):
+        """Reroute budget exhausted: the cluster gives up on it."""
+        req.status = FAILED
+        self.stats.bump(req.tenant.name, "failed")
+        if req.reply_to is not None:
+            yield from req.reply_to.put((FAILED, req))
+
+    def _expire(self, req: Request):
+        """Deadline passed while waiting for credit: bounded retry."""
+        tenant = req.tenant
+        self.stats.bump(tenant.name, "timeouts")
+        if req.attempt < tenant.max_retries:
+            self.stats.bump(tenant.name, "retries")
+            delay = tenant.backoff * (2 ** req.attempt)
+            delay += self.retry_rng.randint(0, tenant.backoff)
+            yield Fork(
+                self._reroute_proc,
+                (req, delay),
+                name=f"{self.name}.retry.{req.rid}.{req.attempt}",
+                priority=PRIO_SLEEPER,
+                detached=True,
+            )
+        else:
+            yield from self._fail(req)

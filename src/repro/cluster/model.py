@@ -1,0 +1,108 @@
+"""Cluster scenario mixes: the pinned multi-shard tenant populations.
+
+Rates are *cluster-wide* and fixed regardless of shard count, so sweeps
+over ``shards`` hold offered load constant and measure capacity.  Both
+mixes are sized against the default two-shard, two-processor cluster:
+
+``steady``
+    Aggregate offered load ~1.2 processors — more than one simulated
+    machine can serve (the single-server world saturates and sheds) but
+    comfortably inside two.  This is the scaling witness: the same mix
+    run through ``repro serve`` versus ``repro cluster --shards 2``
+    shows the throughput a shard boundary buys.
+
+``skewed``
+    One open-loop tenant ("bulk") alone offers ~3 processors of work —
+    twice the whole cluster — while four well-behaved tenants offer a
+    trickle.  Under drop-tail admission bulk owns the shared queue and
+    everyone sheds; per-tenant WFQ bounds bulk to its weighted share
+    and the well-behaved tails recover.  The "metered" tenant also
+    carries a token-bucket rate limit, exercising the hard-cap path in
+    both admission modes.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.simtime import msec, usec
+from repro.server.model import TenantSpec
+
+CLUSTER_SCENARIOS = ("steady", "skewed")
+
+
+def cluster_tenants(scenario: str) -> tuple[TenantSpec, ...]:
+    """The pinned cluster tenant mixes (see module docstring)."""
+    base = (
+        TenantSpec(
+            name="ordered",
+            mode="open",
+            rate_per_sec=120.0,
+            cost=usec(500),
+            deadline=msec(400),
+            ordered=True,
+            weight=1,
+        ),
+        TenantSpec(
+            name="interactive",
+            mode="closed",
+            clients=6,
+            think_time=msec(100),
+            cost=usec(400),
+            deadline=msec(300),
+            priority=5,
+            weight=2,
+        ),
+    )
+    if scenario == "steady":
+        return (
+            TenantSpec(
+                name="api",
+                mode="open",
+                rate_per_sec=1800.0,
+                cost=usec(600),
+                deadline=msec(400),
+                weight=2,
+            ),
+            TenantSpec(
+                name="writes",
+                mode="open",
+                rate_per_sec=150.0,
+                cost=usec(250),
+                deadline=msec(600),
+                writes=True,
+                write_keys=6,
+                max_retries=1,
+                weight=1,
+            ),
+            *base,
+        )
+    if scenario == "skewed":
+        return (
+            TenantSpec(
+                name="bulk",
+                mode="open",
+                rate_per_sec=5000.0,
+                cost=usec(600),
+                deadline=msec(400),
+                weight=1,
+            ),
+            TenantSpec(
+                name="api",
+                mode="open",
+                rate_per_sec=400.0,
+                cost=usec(600),
+                deadline=msec(400),
+                weight=2,
+            ),
+            TenantSpec(
+                name="metered",
+                mode="open",
+                rate_per_sec=600.0,
+                cost=usec(300),
+                deadline=msec(400),
+                rate_limit_per_sec=200.0,
+                burst=32,
+                weight=1,
+            ),
+            *base,
+        )
+    raise ValueError(f"unknown cluster scenario {scenario!r}")

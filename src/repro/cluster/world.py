@@ -1,0 +1,291 @@
+"""Assembling and running the sharded cluster world.
+
+:func:`build_cluster_world` wires N :class:`~repro.server.server.RpcServer`
+shards plus a :class:`~repro.cluster.balancer.LoadBalancer` onto one
+:class:`~repro.runtime.pcr.World`; :func:`run_cluster` is the one-call
+entry point used by the CLI, the benchmarks, the golden scenarios and
+the chaos sweep.
+
+By default the world gets ``ncpus == shards`` — each shard is "its own
+machine", which is the point of sharding: the steady mix overloads one
+simulated processor but fits two, so the cluster's throughput win over
+the single-server world is capacity, not accounting.
+
+The :class:`ClusterReport` folds the run down: per-shard statistics,
+the balancer's admission/health story, *merged* per-tenant counters
+(balancer + every shard, no double counting — the balancer never bumps
+``admitted``) and latency histograms folded together with
+:meth:`~repro.server.latency.LatencyHistogram.merge`.  Its ``digest``
+is the cluster-level determinism witness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.balancer import LoadBalancer
+from repro.cluster.model import cluster_tenants
+from repro.kernel.config import KernelConfig
+from repro.kernel.simtime import sec
+from repro.runtime.pcr import World
+from repro.server.clients import install_closed_loop, install_open_loop
+from repro.server.latency import LatencyHistogram
+from repro.server.model import ServerStats, TenantSpec
+from repro.server.server import RpcServer
+
+#: Default simulated run length, matching the single-server world.
+DEFAULT_DURATION = sec(2)
+
+#: Default balancer admission capacity (shared or per-tenant-divided).
+DEFAULT_ADMISSION_CAPACITY = 64
+
+#: Default per-shard worker pool.
+DEFAULT_WORKERS_PER_SHARD = 4
+
+
+@dataclass
+class ClusterReport:
+    """One cluster run, folded down to its SLO story."""
+
+    scenario: str
+    seed: int
+    policy: str
+    admission: str
+    shards: int
+    workers_per_shard: int
+    duration: int
+    #: Merged per-tenant counters (balancer + shards) and latency.
+    merged: dict = field(default_factory=dict)
+    #: The balancer's own counters, depth samples and health events.
+    balancer: dict = field(default_factory=dict)
+    #: Per-shard ``ServerStats.to_dict()`` snapshots, in shard order.
+    per_shard: list = field(default_factory=list)
+    digest: str = ""
+
+    @property
+    def completed(self) -> int:
+        return self.merged["totals"]["completed"]
+
+    @property
+    def throughput_per_sec(self) -> float:
+        seconds = self.duration / 1_000_000
+        return self.completed / seconds if seconds else 0.0
+
+    @property
+    def quantiles(self) -> dict[str, int]:
+        latency = self.merged["latency"]
+        return {name: latency[name] for name in ("p50", "p95", "p99", "p999")}
+
+    @property
+    def shed_fraction(self) -> float:
+        offered = self.merged["totals"]["offered"]
+        return self.merged["totals"]["shed"] / offered if offered else 0.0
+
+    def tenant_share(self, tenant: str) -> float:
+        """This tenant's fraction of all completed requests."""
+        total = self.completed
+        row = self.merged["tenants"].get(tenant)
+        return row["completed"] / total if row and total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "policy": self.policy,
+            "admission": self.admission,
+            "shards": self.shards,
+            "workers_per_shard": self.workers_per_shard,
+            "duration_us": self.duration,
+            "throughput_per_sec": round(self.throughput_per_sec, 3),
+            "shed_fraction": round(self.shed_fraction, 6),
+            "digest": self.digest,
+            "merged": self.merged,
+            "balancer": self.balancer,
+            "per_shard": self.per_shard,
+        }
+
+
+def merge_cluster_stats(
+    balancer: LoadBalancer, shards: tuple[RpcServer, ...]
+) -> dict:
+    """Cluster-wide rollup: counters summed, histograms merged.
+
+    The balancer contributes ``offered``/``shed``/``failed``/``retries``
+    (it never bumps ``admitted`` or records latency), each shard
+    contributes everything downstream of dispatch, so summing the layers
+    counts each event exactly once.
+    """
+    latency = LatencyHistogram()
+    tenant_latency: dict[str, LatencyHistogram] = {}
+    counters: dict[str, dict[str, int]] = {}
+    batches = 0
+    for stats in (balancer.stats, *(s.stats for s in shards)):
+        latency.merge(stats.latency)
+        for name, hist in stats.tenant_latency.items():
+            tenant_latency.setdefault(name, LatencyHistogram()).merge(hist)
+        for name, row in stats.per_tenant.items():
+            out = counters.setdefault(
+                name, dict.fromkeys(ServerStats.KINDS, 0)
+            )
+            for kind, value in row.items():
+                out[kind] += value
+        batches += stats.batches
+    totals = {
+        kind: sum(row[kind] for row in counters.values())
+        for kind in ServerStats.KINDS
+    }
+    return {
+        "latency": latency.to_dict(),
+        "tenants": {
+            name: {
+                **row,
+                "latency": tenant_latency[name].to_dict()
+                if name in tenant_latency
+                else None,
+            }
+            for name, row in sorted(counters.items())
+        },
+        "totals": totals,
+        "batches": batches,
+    }
+
+
+def build_cluster_world(
+    config: KernelConfig | None = None,
+    *,
+    scenario: str = "steady",
+    shards: int = 2,
+    workers_per_shard: int = DEFAULT_WORKERS_PER_SHARD,
+    policy: str = "p2c",
+    admission: str = "wfq",
+    admission_capacity: int = DEFAULT_ADMISSION_CAPACITY,
+    tenants: tuple[TenantSpec, ...] | None = None,
+) -> tuple[World, LoadBalancer]:
+    """Build the cluster: shards started, balancer fronted, traffic on."""
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    world = World(config)
+    mix = tenants if tenants is not None else cluster_tenants(scenario)
+    pool = tuple(
+        RpcServer(
+            world,
+            mix,
+            workers=workers_per_shard,
+            name=f"shard{sid}",
+        )
+        for sid in range(shards)
+    )
+    for shard in pool:
+        shard.start()
+    balancer = LoadBalancer(
+        world,
+        pool,
+        mix,
+        policy=policy,
+        admission_policy=admission,
+        admission_capacity=admission_capacity,
+    )
+    balancer.start()
+    for tenant in mix:
+        if tenant.mode == "open":
+            install_open_loop(balancer, tenant)
+        else:
+            install_closed_loop(balancer, tenant)
+    return world, balancer
+
+
+def summarize_cluster(
+    balancer: LoadBalancer,
+    *,
+    scenario: str,
+    seed: int,
+    duration: int,
+) -> ClusterReport:
+    """Fold a finished (or still-live) cluster into a report."""
+    shards = balancer.shards
+    merged = merge_cluster_stats(balancer, shards)
+    balancer_view = {
+        **balancer.stats.to_dict(),
+        "policy": balancer.policy,
+        "admission": balancer.admission_policy,
+        "window": balancer.window,
+        "healthy": list(balancer.healthy),
+        "dispatched": list(balancer.dispatched),
+        "rerouted_away": list(balancer.rerouted_away),
+        "trips": balancer.trips,
+        "recoveries": balancer.recoveries,
+        "reroutes": balancer.reroutes,
+        "throttled": {
+            name: bucket.throttled
+            for name, bucket in sorted(balancer.buckets.items())
+        },
+    }
+    per_shard = [shard.stats.to_dict() for shard in shards]
+    report = ClusterReport(
+        scenario=scenario,
+        seed=seed,
+        policy=balancer.policy,
+        admission=balancer.admission_policy,
+        shards=len(shards),
+        workers_per_shard=shards[0].workers,
+        duration=duration,
+        merged=merged,
+        balancer=balancer_view,
+        per_shard=per_shard,
+    )
+    canonical = {
+        "merged": merged,
+        "balancer": balancer_view,
+        "per_shard": per_shard,
+    }
+    report.digest = hashlib.sha256(
+        json.dumps(canonical, sort_keys=True).encode()
+    ).hexdigest()
+    return report
+
+
+def run_cluster(
+    *,
+    seed: int = 0,
+    scenario: str = "steady",
+    shards: int = 2,
+    workers_per_shard: int = DEFAULT_WORKERS_PER_SHARD,
+    policy: str = "p2c",
+    admission: str = "wfq",
+    admission_capacity: int = DEFAULT_ADMISSION_CAPACITY,
+    duration: int = DEFAULT_DURATION,
+    ncpus: int | None = None,
+    config_overrides: dict | None = None,
+    raise_on_deadlock: bool = True,
+    keep_world: bool = False,
+) -> ClusterReport | tuple[ClusterReport, World, LoadBalancer]:
+    """Run one cluster experiment and fold it into a report.
+
+    ``ncpus`` defaults to ``shards`` (each shard is its own machine);
+    ``keep_world`` hands back the live world and balancer (caller owns
+    shutdown) for tests that inspect queues and health state directly.
+    """
+    base = dict(seed=seed, ncpus=shards if ncpus is None else ncpus)
+    if config_overrides:
+        base.update(config_overrides)
+    config = KernelConfig(**base)
+    world, balancer = build_cluster_world(
+        config,
+        scenario=scenario,
+        shards=shards,
+        workers_per_shard=workers_per_shard,
+        policy=policy,
+        admission=admission,
+        admission_capacity=admission_capacity,
+    )
+    world.run_for(duration, raise_on_deadlock=raise_on_deadlock)
+    report = summarize_cluster(
+        balancer, scenario=scenario, seed=seed, duration=duration
+    )
+    if keep_world:
+        return report, world, balancer
+    world.shutdown()
+    return report

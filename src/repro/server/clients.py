@@ -14,6 +14,21 @@ attempts) because a shed verdict is advice to the caller, not the server.
 Each tenant's arrival randomness is an independent stream forked from
 the kernel seed, so changing one tenant's rate never perturbs another
 tenant's arrival sequence.
+
+**Coordinated omission.**  A closed-loop client that is stalled by the
+server (shed, backing off, resubmitting) is *not sending* — naive
+accounting measures each attempt from its own submission time and so
+silently omits exactly the waits the server caused.  With
+``TenantSpec.co_aware`` (the default) every resubmission carries the
+original *intended* send time, so the recorded latency of the eventually
+successful attempt covers the whole stall.  This is an accounting-only
+change: the schedule of kernel events is identical either way, only the
+timestamps folded into the histogram differ.
+
+Both generators target any *frontend* exposing the small ingress
+protocol (``net``/``ingress``, ``make_request``, ``stats``, ``poll``,
+``world``/``kernel``, ``name``): a single :class:`RpcServer` or a
+cluster :class:`~repro.cluster.balancer.LoadBalancer`.
 """
 
 from __future__ import annotations
@@ -24,20 +39,19 @@ from repro.kernel.primitives import GetTime, Pause
 from repro.kernel.rng import DeterministicRng
 from repro.kernel.simtime import msec
 from repro.server.model import DONE, FAILED, SHED, TenantSpec
-from repro.server.server import RpcServer
 from repro.sync.queues import UnboundedQueue
 
 #: How many shed verdicts a closed-loop client absorbs before giving up.
 CLIENT_RETRY_BUDGET = 3
 
 
-def install_open_loop(server: RpcServer, tenant: TenantSpec) -> None:
+def install_open_loop(server: Any, tenant: TenantSpec) -> None:
     """Schedule the tenant's Poisson arrival process as kernel events."""
     if tenant.mode != "open":
         raise ValueError(f"tenant {tenant.name!r} is not open-loop")
     kernel = server.kernel
     rng = DeterministicRng(kernel.config.seed).fork(
-        f"server:arrivals:{tenant.name}"
+        f"{server.name}:arrivals:{tenant.name}"
     )
     rate_per_usec = tenant.rate_per_sec / 1_000_000.0
 
@@ -52,13 +66,13 @@ def install_open_loop(server: RpcServer, tenant: TenantSpec) -> None:
     )
 
 
-def install_closed_loop(server: RpcServer, tenant: TenantSpec) -> None:
+def install_closed_loop(server: Any, tenant: TenantSpec) -> None:
     """Fork the tenant's client thread population."""
     if tenant.mode != "closed":
         raise ValueError(f"tenant {tenant.name!r} is not closed-loop")
     for cid in range(tenant.clients):
         rng = DeterministicRng(server.kernel.config.seed).fork(
-            f"server:client:{tenant.name}:{cid}"
+            f"{server.name}:client:{tenant.name}:{cid}"
         )
         server.world.add_eternal(
             client_proc,
@@ -69,7 +83,7 @@ def install_closed_loop(server: RpcServer, tenant: TenantSpec) -> None:
 
 
 def client_proc(
-    server: RpcServer,
+    server: Any,
     tenant: TenantSpec,
     cid: int,
     rng: DeterministicRng,
@@ -86,6 +100,9 @@ def client_proc(
         yield Pause(rng.expovariate(think_rate))
         now = yield GetTime()
         req = server.make_request(tenant, now, reply_to=reply_q)
+        #: The operation's intended send time.  CO-aware resubmits carry
+        #: it forward so the stall the server caused stays on the books.
+        intended = req.intended
         shed_count = 0
         while True:
             server.stats.bump(tenant.name, "offered")
@@ -97,7 +114,12 @@ def client_proc(
                 backoff = tenant.backoff * (2 ** shed_count)
                 yield Pause(backoff + rng.randint(0, tenant.backoff))
                 now = yield GetTime()
-                req = server.make_request(tenant, now, reply_to=reply_q)
+                req = server.make_request(
+                    tenant,
+                    now,
+                    reply_to=reply_q,
+                    intended=intended if tenant.co_aware else None,
+                )
                 continue
             if verdict is None or verdict == SHED:
                 server.stats.bump(tenant.name, "give_ups")

@@ -53,14 +53,29 @@ class TenantSpec:
     admission_timeout: int = 0
     #: Priority of this tenant's closed-loop client threads.
     priority: int = 5
+    #: Weighted-fair-queueing weight (WFQ admission serves tenants in
+    #: proportion to their weights whenever they are backlogged).
+    weight: int = 1
+    #: Token-bucket rate limit at the balancer, requests per simulated
+    #: second; 0 disables the bucket for this tenant.
+    rate_limit_per_sec: float = 0.0
+    #: Token-bucket burst allowance (ignored when the bucket is off).
+    burst: int = 16
+    #: Coordinated-omission-aware accounting: resubmitted requests keep
+    #: the original intended send time, so the latency a closed-loop
+    #: client recorded includes every shed-backoff wait before the
+    #: request finally got in.  Off reproduces the PR-4 accounting that
+    #: silently omitted those waits.
+    co_aware: bool = True
 
 
 class Request:
     """One RPC through the system, across retries."""
 
     __slots__ = (
-        "rid", "tenant", "submitted", "expires_at", "cost", "attempt",
-        "key", "reply_to", "started_at", "completed_at", "status",
+        "rid", "tenant", "submitted", "intended", "expires_at", "cost",
+        "attempt", "key", "reply_to", "started_at", "completed_at",
+        "status", "reroutes",
     )
 
     def __init__(
@@ -72,12 +87,18 @@ class Request:
         *,
         key: object = None,
         reply_to: object = None,
+        intended: int | None = None,
     ) -> None:
         self.rid = rid
         self.tenant = tenant
-        #: First submission time — latency is measured from here, across
-        #: every retry, because that is what the caller experiences.
+        #: This submission's time — per-attempt deadlines run from here.
         self.submitted = submitted
+        #: Intended send time: when the caller *meant* to issue the
+        #: operation.  Defaults to ``submitted``; a closed-loop client
+        #: resubmitting after a shed passes the original intended time
+        #: through, so recorded latency includes the wait to get in
+        #: (coordinated-omission awareness).
+        self.intended = submitted if intended is None else intended
         self.expires_at = submitted + tenant.deadline
         self.cost = cost
         self.attempt = 0
@@ -86,6 +107,9 @@ class Request:
         self.started_at: int | None = None
         self.completed_at: int | None = None
         self.status = PENDING
+        #: Times a balancer pulled this request off a wedged shard and
+        #: re-dispatched it (bounded; see repro.cluster.balancer).
+        self.reroutes = 0
 
     def rearm(self, now: int) -> None:
         """Start a fresh attempt: new per-attempt deadline."""
@@ -95,6 +119,52 @@ class Request:
 
     def __repr__(self) -> str:
         return f"<Request {self.rid} {self.status} attempt={self.attempt}>"
+
+
+class RequestFactory:
+    """Mints deterministic requests for one ingress point.
+
+    The RPC server and the cluster load balancer both fabricate requests
+    (jittered cost, write key, sequential rid) from RNG streams forked
+    off the kernel seed.  Each ingress point gets its own factory, keyed
+    by its name, so a shard's cost jitter never perturbs the balancer's
+    and vice versa.
+    """
+
+    def __init__(self, seed: int, name: str) -> None:
+        from repro.kernel.rng import DeterministicRng
+
+        base = DeterministicRng(seed)
+        self.cost_rng = base.fork(f"{name}:cost")
+        self.retry_rng = base.fork(f"{name}:retry")
+        self.key_rng = base.fork(f"{name}:key")
+        self._rid_seq: dict[str, int] = {}
+
+    def make(
+        self,
+        tenant: TenantSpec,
+        now: int,
+        *,
+        reply_to: object = None,
+        intended: int | None = None,
+    ) -> Request:
+        """Mint a request: deterministic rid, jittered cost, write key."""
+        seq = self._rid_seq.get(tenant.name, 0)
+        self._rid_seq[tenant.name] = seq + 1
+        spread = 2.0 * self.cost_rng.uniform() - 1.0
+        cost = max(1, round(tenant.cost * (1.0 + tenant.cost_jitter * spread)))
+        key = None
+        if tenant.writes:
+            key = f"{tenant.name}:k{self.key_rng.randint(0, tenant.write_keys - 1)}"
+        return Request(
+            f"{tenant.name}-{seq}",
+            tenant,
+            now,
+            cost,
+            key=key,
+            reply_to=reply_to,
+            intended=intended,
+        )
 
 
 class ServerStats:

@@ -27,7 +27,6 @@ from __future__ import annotations
 from typing import Any
 
 from repro.kernel.primitives import Compute, Enter, Exit, Fork, GetTime, Pause
-from repro.kernel.rng import DeterministicRng
 from repro.kernel.simtime import usec
 from repro.paradigms.pump import Pump
 from repro.paradigms.slack import SlackProcess
@@ -38,6 +37,7 @@ from repro.server.model import (
     PENDING,
     SHED,
     Request,
+    RequestFactory,
     ServerStats,
     TenantSpec,
 )
@@ -76,48 +76,67 @@ class RpcServer:
         *,
         workers: int = 4,
         admission_capacity: int = 32,
+        name: str = "server",
+        admission_policy: str = "drop_tail",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if admission_policy not in ("drop_tail", "wfq"):
+            raise ValueError(f"unknown admission policy {admission_policy!r}")
         self.world = world
         self.kernel = world.kernel
         self.tenants = {t.name: t for t in tenants}
         self.workers = workers
+        self.name = name
+        self.admission_policy = admission_policy
         self.stats = ServerStats()
         #: Timed-get interval: one scheduler quantum, the kernel's
         #: timeout granularity — anything shorter rounds up to it anyway.
         self.poll = self.kernel.config.quantum
 
-        self.net = world.add_device("server.net")
-        self.ingress = UnboundedQueue("server.ingress")
-        self.admission = BoundedQueue("server.admission", admission_capacity)
+        self.net = world.add_device(f"{name}.net")
+        self.ingress = UnboundedQueue(f"{name}.ingress")
+        if admission_policy == "wfq":
+            from repro.cluster.admission import WfqQueue
+
+            self.admission = WfqQueue(
+                f"{name}.admission",
+                max(1, admission_capacity // max(1, len(tenants))),
+                {t.name: t.weight for t in tenants},
+            )
+        else:
+            self.admission = BoundedQueue(
+                f"{name}.admission", admission_capacity
+            )
         self.serial_queues: dict[str, BoundedQueue] = {
             t.name: BoundedQueue(
-                f"server.serial.{t.name}", SERIAL_QUEUE_CAPACITY
+                f"{name}.serial.{t.name}", SERIAL_QUEUE_CAPACITY
             )
             for t in tenants
             if t.ordered
         }
         self.batch_queue = UnboundedQueue(
-            "server.batch", get_timeout=self.poll
+            f"{name}.batch", get_timeout=self.poll
         )
         #: Shared application state workers touch under a monitor, so the
         #: server exercises real lock contention (and the race detector).
-        self.table_mon = Monitor("server.table")
+        self.table_mon = Monitor(f"{name}.table")
         self.table: dict[str, int] = {}
         #: Requests merged away by the batcher, drained per delivery.
         self._superseded: list[Request] = []
+        #: Optional generator-function hook run after every terminal
+        #: outcome (complete/shed/fail).  The cluster balancer installs
+        #: its credit-release notification here; None costs nothing and
+        #: leaves the single-server schedule untouched.
+        self.on_outcome: Any = None
 
         #: Derived RNG streams: request jitter and retry backoff jitter
         #: are forked per concern so neither perturbs arrival sequences.
-        base = DeterministicRng(self.kernel.config.seed)
-        self.cost_rng = base.fork("server:cost")
-        self.retry_rng = base.fork("server:retry")
-        self.key_rng = base.fork("server:key")
-        self._rid_seq: dict[str, int] = {}
+        self.factory = RequestFactory(self.kernel.config.seed, name)
+        self.retry_rng = self.factory.retry_rng
 
         self.listener = Pump(
-            "server.listener",
+            f"{name}.listener",
             self.net,
             self.ingress,
             cost_per_item=LISTEN_COST,
@@ -125,7 +144,7 @@ class RpcServer:
         # Slack: sleep out one quantum so same-key writes pile up before
         # the per-batch cost is paid (latency added, work saved — §5.2).
         self.batcher = SlackProcess(
-            "server.batcher",
+            f"{name}.batcher",
             self.batch_queue,
             self._deliver_batch,
             merge=self._merge_writes,
@@ -134,7 +153,7 @@ class RpcServer:
             cost_per_batch=BATCH_BASE_COST,
         )
         self.sweeper = Sleeper(
-            "server.deadlines", self.poll, self._sweep, work_cost=usec(30)
+            f"{name}.deadlines", self.poll, self._sweep, work_cost=usec(30)
         )
 
     # -- population --------------------------------------------------------
@@ -145,7 +164,7 @@ class RpcServer:
             self.listener.proc, name=self.listener.name, priority=PRIO_LISTENER
         )
         self.world.add_eternal(
-            self._router_proc, name="server.router", priority=PRIO_ROUTER
+            self._router_proc, name=f"{self.name}.router", priority=PRIO_ROUTER
         )
         self.world.add_eternal(
             self.sweeper.proc, name=self.sweeper.name, priority=PRIO_SLEEPER
@@ -154,14 +173,14 @@ class RpcServer:
             self.world.add_eternal(
                 self._worker_proc,
                 (wid,),
-                name=f"server.worker.{wid}",
+                name=f"{self.name}.worker.{wid}",
                 priority=PRIO_POOL,
             )
         for name in self.serial_queues:
             self.world.add_eternal(
                 self._serializer_proc,
                 (name,),
-                name=f"server.serial.{name}",
+                name=f"{self.name}.serial.{name}",
                 priority=PRIO_POOL,
             )
         self.world.add_eternal(
@@ -176,22 +195,11 @@ class RpcServer:
         now: int,
         *,
         reply_to: Any = None,
+        intended: int | None = None,
     ) -> Request:
         """Mint a request: deterministic rid, jittered cost, write key."""
-        seq = self._rid_seq.get(tenant.name, 0)
-        self._rid_seq[tenant.name] = seq + 1
-        spread = 2.0 * self.cost_rng.uniform() - 1.0
-        cost = max(1, round(tenant.cost * (1.0 + tenant.cost_jitter * spread)))
-        key = None
-        if tenant.writes:
-            key = f"{tenant.name}:k{self.key_rng.randint(0, tenant.write_keys - 1)}"
-        return Request(
-            f"{tenant.name}-{seq}",
-            tenant,
-            now,
-            cost,
-            key=key,
-            reply_to=reply_to,
+        return self.factory.make(
+            tenant, now, reply_to=reply_to, intended=intended
         )
 
     # -- thread bodies -----------------------------------------------------
@@ -290,9 +298,13 @@ class RpcServer:
         req.completed_at = now
         req.status = DONE
         self.stats.bump(req.tenant.name, "completed")
-        self.stats.note_latency(req.tenant.name, now - req.submitted)
+        # Latency runs from the *intended* send time (== submitted unless
+        # a CO-aware client carried an earlier intent through resubmits).
+        self.stats.note_latency(req.tenant.name, now - req.intended)
         if req.reply_to is not None:
             yield from req.reply_to.put((DONE, req))
+        if self.on_outcome is not None:
+            yield from self.on_outcome()
 
     def _shed(self, req: Request):
         """Admission refused: final for open-loop, a retryable verdict
@@ -301,6 +313,8 @@ class RpcServer:
         self.stats.bump(req.tenant.name, "shed")
         if req.reply_to is not None:
             yield from req.reply_to.put((SHED, req))
+        if self.on_outcome is not None:
+            yield from self.on_outcome()
 
     def _expire(self, req: Request):
         """Deadline passed before service: retry with jittered backoff
@@ -314,7 +328,7 @@ class RpcServer:
             yield Fork(
                 self._retry_proc,
                 (req, delay),
-                name=f"server.retry.{req.rid}.{req.attempt}",
+                name=f"{self.name}.retry.{req.rid}.{req.attempt}",
                 priority=PRIO_SLEEPER,
                 detached=True,
             )
@@ -323,6 +337,8 @@ class RpcServer:
             self.stats.bump(tenant.name, "failed")
             if req.reply_to is not None:
                 yield from req.reply_to.put((FAILED, req))
+            if self.on_outcome is not None:
+                yield from self.on_outcome()
 
     def _retry_proc(self, req: Request, delay: int):
         """One-shot: sleep out the backoff, then resubmit via ingress."""

@@ -74,6 +74,20 @@ class UnboundedQueue:
         finally:
             yield Exit(self.monitor)
 
+    def prune(self, predicate: Any):
+        """Remove and return every queued item matching ``predicate``
+        (generator) — the balancer's wedged-shard drain."""
+        yield Enter(self.monitor)
+        try:
+            kept: deque[Any] = deque()
+            removed: list[Any] = []
+            for item in self.items:
+                (removed if predicate(item) else kept).append(item)
+            self.items = kept
+            return removed
+        finally:
+            yield Exit(self.monitor)
+
     def __len__(self) -> int:
         return len(self.items)
 

@@ -31,12 +31,19 @@ def small_sweep(seed=0):
 
 class TestDirectedScenarios:
     def test_injected_partial_deadlocks_are_detected(self):
-        """Acceptance: each directed wedge is caught by the watchdog
-        while a bystander stays runnable, and all invariants hold."""
+        """Acceptance: each directed wedge passes its invariants, and
+        the deadlock-injecting ones are caught by the watchdog while a
+        bystander stays runnable.  (The cluster wedged-shard scenario is
+        directed congestion, not deadlock — its post_check asserts the
+        breaker/re-route story instead, and the watchdog must stay
+        quiet.)"""
         for scenario in DIRECTED_SCENARIOS:
             record = run_one(scenario, scenario.plan, seed=0)
             assert record.failures == [], scenario.name
-            assert record.deadlocks >= 1, scenario.name
+            if scenario.expect_deadlock:
+                assert record.deadlocks >= 1, scenario.name
+            else:
+                assert record.deadlocks == 0, scenario.name
 
     def test_sweep_scenarios_survive_sampled_faults(self):
         rng = DeterministicRng(0).fork("chaos")
@@ -51,9 +58,8 @@ class TestSweep:
         assert report["ok"] is True
         assert report["summary"]["failed"] == 0
         assert report["summary"]["total"] == len(DIRECTED_SCENARIOS) + 3
-        assert report["summary"]["deadlocks_detected"] >= len(
-            DIRECTED_SCENARIOS
-        )
+        injected = sum(1 for s in DIRECTED_SCENARIOS if s.expect_deadlock)
+        assert report["summary"]["deadlocks_detected"] >= injected
         assert report["summary"]["faults_injected"] > 0
 
     def test_sweep_is_deterministic_in_its_seed(self):

@@ -136,6 +136,27 @@ class TestCli:
         assert loaded["workers"] == 2
         assert loaded["stats"]["latency"]["p99"] >= 0
 
+    def test_cluster_command_prints_slo_rollup(self, capsys):
+        assert main(["cluster", "--duration-ms", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster scenario=steady" in out
+        assert "Per-shard outcomes" in out
+        assert "Per-tenant outcomes" in out
+        assert "cluster digest:" in out
+
+    def test_cluster_command_writes_json(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "cluster.json"
+        assert main(["cluster", "--duration-ms", "400", "--shards", "2",
+                     "--policy", "rr", "--admission", "drop_tail",
+                     "--output", str(output)]) == 0
+        loaded = json.loads(output.read_text())
+        assert loaded["policy"] == "rr"
+        assert loaded["admission"] == "drop_tail"
+        assert loaded["shards"] == 2
+        assert loaded["merged"]["latency"]["p99"] >= 0
+
     def test_trace_command_writes_chrome_json(self, capsys, tmp_path):
         output = tmp_path / "trace.json"
         assert main(["trace", str(output)]) == 0

@@ -233,6 +233,48 @@ class TestServerWorld:
         assert row["completed"] > 20
         assert row["give_ups"] == 0
 
+    def test_co_aware_accounting_raises_recorded_p99(self):
+        """Coordinated-omission regression: a stalled server forces the
+        closed-loop client into shed/backoff/resubmit cycles.  CO-naive
+        accounting restarts the latency clock at each resubmit and
+        reports a flattering tail; CO-aware accounting keeps the
+        original intended send time, so the recorded p99 rises to tell
+        the truth about the stall."""
+
+        def mix(co_aware):
+            hog = TenantSpec(
+                name="hog", mode="open", rate_per_sec=600.0, cost=usec(8000),
+                deadline=msec(400), max_retries=0,
+            )
+            victim = TenantSpec(
+                name="victim", mode="closed", clients=4,
+                think_time=msec(5), cost=usec(1000), deadline=msec(80),
+                max_retries=0, backoff=msec(30), co_aware=co_aware,
+            )
+            return (hog, victim)
+
+        results = {}
+        for co_aware in (False, True):
+            world, server = build_server_world(
+                KernelConfig(seed=0), tenants=mix(co_aware), workers=2,
+                admission_capacity=8,
+            )
+            world.run_for(RUN)
+            row = dict(server.stats.per_tenant["victim"])
+            latency = server.stats.tenant_latency["victim"]
+            results[co_aware] = (row, latency.percentile(0.99))
+            world.shutdown()
+
+        naive_row, naive_p99 = results[False]
+        aware_row, aware_p99 = results[True]
+        # Both runs really exercised the retry path.
+        assert naive_row["client_retries"] > 0
+        assert aware_row["client_retries"] > 0
+        # The accounting is the only difference — and the tail moves.
+        assert aware_p99 > naive_p99, (
+            f"CO-aware p99 {aware_p99} should exceed naive {naive_p99}"
+        )
+
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ValueError):
             run_server(scenario="nope", duration=msec(100))
