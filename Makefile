@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench bench-perf bench-server bench-cluster golden tables census races chaos serve cluster quick all
+.PHONY: install test lint bench bench-perf bench-server bench-cluster golden tables census races chaos explore serve cluster quick all
 
 install:
 	pip install -e . --no-build-isolation
@@ -46,6 +46,12 @@ races:
 # checks; writes the JSON report (see docs/ROBUSTNESS.md).
 chaos:
 	PYTHONPATH=src python -m repro chaos --smoke --output chaos-report.json
+
+# Systematic schedule exploration: find the directed scenarios' bugs,
+# shrink each to a minimal replayable trace, write the JSON report (see
+# docs/EXPLORATION.md).
+explore:
+	PYTHONPATH=src python -m repro --seed 0 explore --scenario all --budget 200 --output explore-report.json
 
 # The multi-tenant RPC server world with its latency-SLO report.
 serve:

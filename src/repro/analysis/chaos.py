@@ -548,15 +548,37 @@ class RunRecord:
     deadlocks: int = 0
     starvation: int = 0
     failures: list[str] = field(default_factory=list)
+    #: Where the failing run's decision trace was saved (see
+    #: ``python -m repro explore --replay``), or None.
+    trace_path: str | None = None
 
     @property
     def ok(self) -> bool:
         return not self.failures
 
 
-def run_one(scenario: ChaosScenario, plan: FaultPlan, seed: int) -> RunRecord:
-    """One chaos run: build, run, sweep, check, shut down."""
-    config = KernelConfig(seed=seed, fault_plan=plan, watchdog=True)
+def run_one(
+    scenario: ChaosScenario,
+    plan: FaultPlan,
+    seed: int,
+    *,
+    trace_dir: str | None = None,
+) -> RunRecord:
+    """One chaos run: build, run, sweep, check, shut down.
+
+    Every run records its schedule through a :class:`ScheduleController`
+    (with default tails, so directed runs stay byte-identical — the
+    disarmed seams decide nothing).  When ``trace_dir`` is given and the
+    run fails an invariant, the recorded :class:`DecisionTrace` is saved
+    there so ``repro explore --replay`` can reproduce the exact run.
+    """
+    from repro.explore.trace import TAIL_DEFAULT, ScheduleController
+
+    recorder = ScheduleController(tail=TAIL_DEFAULT)
+    config = KernelConfig(
+        seed=seed, fault_plan=plan, watchdog=True,
+        schedule_controller=recorder,
+    )
     kernel, shutdown = scenario.build(config)
     record = RunRecord(
         scenario=scenario.name, plan=plan_dict(plan), seed=seed
@@ -588,6 +610,19 @@ def run_one(scenario: ChaosScenario, plan: FaultPlan, seed: int) -> RunRecord:
         record.failures.append(
             f"after shutdown: stack_bytes={stats.stack_bytes}"
         )
+    if record.failures and trace_dir is not None:
+        import os
+
+        recorder.trace.meta.update(
+            scenario=scenario.name, seed=seed, plan=record.plan,
+            kill_immune=list(plan.kill_immune),
+            failures=list(record.failures),
+        )
+        path = os.path.join(
+            trace_dir, f"chaos-{scenario.name}-seed{seed}.trace.json"
+        )
+        recorder.trace.save(path)
+        record.trace_path = path
     return record
 
 
@@ -618,6 +653,7 @@ def run_sweep(
     runs: int = 14,
     check_golden: bool = True,
     progress: Callable[[str], None] | None = None,
+    trace_dir: str | None = None,
 ) -> dict:
     """The full sweep: directed scenarios, sampled plans, golden check.
 
@@ -628,7 +664,7 @@ def run_sweep(
     records: list[RunRecord] = []
 
     for scenario in DIRECTED_SCENARIOS:
-        record = run_one(scenario, scenario.plan, seed)
+        record = run_one(scenario, scenario.plan, seed, trace_dir=trace_dir)
         say(f"{scenario.name}: deadlocks={record.deadlocks} "
             f"{'ok' if record.ok else 'FAIL'}")
         records.append(record)
@@ -636,7 +672,7 @@ def run_sweep(
     for index in range(runs):
         scenario = SWEEP_SCENARIOS[index % len(SWEEP_SCENARIOS)]
         plan = sample_plan(rng, kills=scenario.kill_safe)
-        record = run_one(scenario, plan, seed + index)
+        record = run_one(scenario, plan, seed + index, trace_dir=trace_dir)
         say(f"{scenario.name}[{index}]: faults={sum(record.faults.values())} "
             f"{'ok' if record.ok else 'FAIL'}")
         records.append(record)

@@ -124,6 +124,16 @@ class FaultInjector:
     def __init__(self, kernel: "Kernel", plan: FaultPlan, rng: "DeterministicRng") -> None:
         self.kernel = kernel
         self.plan = plan
+        #: Schedule-exploration seam, or None.  When present, every
+        #: fault decision is routed through ``controller.decide`` with a
+        #: *per-decision* forked default stream (``fork(f"{kind}:{seq}")``)
+        #: instead of the sequential per-run streams below.  Sequential
+        #: streams shift when exploration forces an earlier decision
+        #: (the forced site consumes no draw), so a minimized trace
+        #: would replay against a different fault tail; a per-decision
+        #: fork depends only on (kind, seq) and stays put.
+        self.controller = kernel.controller
+        self._rng = rng
         # One stream per fault kind so enabling one kind does not shift
         # another kind's draw sequence.
         self._notify_rng = rng.fork("notify")
@@ -143,65 +153,188 @@ class FaultInjector:
 
             kernel.tracer.record(kernel.now, CAT_FAULT, kind, thread_name, detail)
 
+    # -- per-decision default streams (exploration seam) -------------------
+
+    def _forked_chance(self, kind: str, prob: float):
+        """Default for a boolean fault decision: a fresh stream derived
+        from (kind, seq) alone, so forcing any earlier decision leaves
+        this draw untouched."""
+        base = self._rng
+
+        def default(seq: int) -> int:
+            return int(base.fork(f"{kind}:{seq}").chance(prob))
+
+        return default
+
+    def _forked_pick(self, kind: str, n: int):
+        """Default for a victim-choice decision: uniform over ``n``."""
+        base = self._rng
+
+        def default(seq: int) -> int:
+            return base.fork(f"{kind}:{seq}").randint(0, n - 1)
+
+        return default
+
     # -- trap-site decisions ----------------------------------------------
 
     def steal_notify(self) -> bool:
         """Decide whether this NOTIFY (which has waiters) wakes nobody."""
-        return self._notify_rng.chance(self.plan.drop_notify_prob)
+        prob = self.plan.drop_notify_prob
+        if self.controller is not None:
+            if prob <= 0.0:
+                return False  # disarmed seam: no decision recorded
+            return bool(
+                self.controller.decide(
+                    "fault.drop_notify", 2, self._forked_chance("drop_notify", prob)
+                )
+            )
+        return self._notify_rng.chance(prob)
 
     def fail_fork(self) -> bool:
         """Decide whether this FORK is denied for (feigned) resources."""
-        return self._fork_rng.chance(self.plan.fork_fail_prob)
+        prob = self.plan.fork_fail_prob
+        if self.controller is not None:
+            if prob <= 0.0:
+                return False
+            return bool(
+                self.controller.decide(
+                    "fault.fork_fail", 2, self._forked_chance("fork_fail", prob)
+                )
+            )
+        return self._fork_rng.chance(prob)
 
     def timer_jitter(self) -> int:
         """Extra microseconds to push a timed-wait deadline later."""
-        if self.plan.timer_jitter_max == 0:
+        plan = self.plan
+        if plan.timer_jitter_max == 0:
             return 0
-        if not self._timer_rng.chance(self.plan.timer_jitter_prob):
+        if self.controller is not None:
+            if plan.timer_jitter_prob <= 0.0:
+                return 0
+            # One decision carrying the amount: 0 = no jitter, j = +j µs.
+            return self.controller.decide(
+                "fault.timer_jitter",
+                plan.timer_jitter_max + 1,
+                self._forked_jitter(),
+            )
+        if not self._timer_rng.chance(plan.timer_jitter_prob):
             return 0
-        return self._timer_rng.randint(1, self.plan.timer_jitter_max)
+        return self._timer_rng.randint(1, plan.timer_jitter_max)
+
+    def _forked_jitter(self):
+        base, plan = self._rng, self.plan
+
+        def default(seq: int) -> int:
+            stream = base.fork(f"timer_jitter:{seq}")
+            if not stream.chance(plan.timer_jitter_prob):
+                return 0
+            return stream.randint(1, plan.timer_jitter_max)
+
+        return default
 
     # -- tick-driven faults ------------------------------------------------
 
     def on_tick(self) -> None:
         """Called by the kernel from every scheduler tick."""
         plan = self.plan
-        if plan.spurious_wakeup_prob > 0.0 and self._spurious_rng.chance(
-            plan.spurious_wakeup_prob
-        ):
-            victim = self._pick_cv_waiter()
-            if victim is not None:
-                self.kernel._inject_spurious_wake(victim)
-        if plan.kill_thread_prob > 0.0 and self._kill_rng.chance(
-            plan.kill_thread_prob
-        ):
-            victim = self._pick_kill_target()
-            if victim is not None:
-                self.kernel._inject_kill(victim)
+        if plan.spurious_wakeup_prob > 0.0:
+            if self.controller is not None:
+                self._controlled_spurious()
+            elif self._spurious_rng.chance(plan.spurious_wakeup_prob):
+                victim = self._pick_cv_waiter()
+                if victim is not None:
+                    self.kernel._inject_spurious_wake(victim)
+        if plan.kill_thread_prob > 0.0:
+            if self.controller is not None:
+                self._controlled_kill()
+            elif self._kill_rng.chance(plan.kill_thread_prob):
+                victim = self._pick_kill_target()
+                if victim is not None:
+                    self.kernel._inject_kill(victim)
 
-    def _pick_cv_waiter(self) -> "SimThread | None":
+    def _controlled_spurious(self) -> None:
+        """Spurious wake as two decisions: fire?, then which waiter.
+
+        Unlike the legacy path (which burns a chance draw even with no
+        waiters), decisions only exist when there is a real choice —
+        the trace stays as short as the schedule's actual freedom.
+        """
+        waiters = self._cv_waiters()
+        if not waiters:
+            return
+        names = tuple(t.name for t in waiters)
+        fired = self.controller.decide(
+            "fault.spurious",
+            2,
+            self._forked_chance("spurious", self.plan.spurious_wakeup_prob),
+            labels=names,
+        )
+        if not fired:
+            return
+        victim = waiters[0]
+        if len(waiters) > 1:
+            index = self.controller.decide(
+                "fault.spurious_victim",
+                len(waiters),
+                self._forked_pick("spurious_victim", len(waiters)),
+                labels=names,
+            )
+            victim = waiters[index]
+        self.kernel._inject_spurious_wake(victim)
+
+    def _controlled_kill(self) -> None:
+        targets = self._kill_targets()
+        if not targets:
+            return
+        names = tuple(t.name for t in targets)
+        fired = self.controller.decide(
+            "fault.kill",
+            2,
+            self._forked_chance("kill", self.plan.kill_thread_prob),
+            labels=names,
+        )
+        if not fired:
+            return
+        victim = targets[0]
+        if len(targets) > 1:
+            index = self.controller.decide(
+                "fault.kill_victim",
+                len(targets),
+                self._forked_pick("kill_victim", len(targets)),
+                labels=names,
+            )
+            victim = targets[index]
+        self.kernel._inject_kill(victim)
+
+    def _cv_waiters(self) -> "list[SimThread]":
         from repro.kernel.thread import ThreadState
 
-        waiters = [
+        return [
             t
             for t in self.kernel.threads.values()
             if t.state is ThreadState.WAITING_CV
         ]
+
+    def _pick_cv_waiter(self) -> "SimThread | None":
+        waiters = self._cv_waiters()
         if not waiters:
             return None
         return self._spurious_rng.choice(waiters)
 
-    def _pick_kill_target(self) -> "SimThread | None":
+    def _kill_targets(self) -> "list[SimThread]":
         from repro.kernel.thread import ThreadState
 
         immune = self.plan.kill_immune
-        targets = [
+        return [
             t
             for t in self.kernel.threads.values()
             if t.state in (ThreadState.READY, ThreadState.RUNNING)
             and t.pending_throw is None
             and not any(t.name.startswith(p) for p in immune)
         ]
+
+    def _pick_kill_target(self) -> "SimThread | None":
+        targets = self._kill_targets()
         if not targets:
             return None
         return self._kill_rng.choice(targets)

@@ -224,6 +224,8 @@ def _cmd_fairshare(args: argparse.Namespace) -> None:
 
 def _cmd_chaos(args: argparse.Namespace) -> None:
     """Seeded fault-injection sweep with the waits-for watchdog on."""
+    import os
+
     from repro.analysis.chaos import run_sweep, write_report
 
     runs = 4 if args.smoke else args.runs
@@ -232,6 +234,10 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
         runs=runs,
         check_golden=not args.skip_golden,
         progress=print,
+        # With an output path, failing runs save their decision traces
+        # next to the report for ``repro explore --replay``.
+        trace_dir=os.path.dirname(os.path.abspath(args.output))
+        if args.output else None,
     )
     summary = report["summary"]
     print(
@@ -249,6 +255,119 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
         print(f"wrote report to {args.output}")
     if not report["ok"]:
         raise SystemExit(1)
+
+
+def _cmd_explore(args: argparse.Namespace) -> None:
+    """Systematic schedule exploration with counterexample minimization."""
+    import json
+    import os
+
+    from repro.explore import (
+        SCENARIOS,
+        DecisionTrace,
+        explore,
+        make_strategy,
+        replay,
+        resolve,
+    )
+
+    if args.replay:
+        trace = DecisionTrace.load(args.replay)
+        name = trace.meta.get("scenario", "")
+        seed = int(trace.meta.get("seed", args.seed))
+        scenario = SCENARIOS.get(name) or _chaos_as_explore_scenario(
+            name, trace.meta
+        )
+        if scenario is None:
+            print(f"trace names unknown scenario {name!r}", file=sys.stderr)
+            raise SystemExit(1)
+        outcome = replay(scenario, trace.choices, seed=seed)
+        print(outcome.trace.render())
+        if outcome.violation is not None:
+            print(f"violation: {outcome.violation}")
+        expected = trace.meta.get("trace_hash")
+        actual = outcome.fingerprint.get("trace")
+        if expected and expected != actual:
+            print(f"REPLAY DIVERGED: trace hash {actual} != recorded "
+                  f"{expected}")
+            raise SystemExit(1)
+        if trace.meta.get("violation") and outcome.violation is None:
+            print("REPLAY DID NOT REPRODUCE the recorded violation")
+            raise SystemExit(1)
+        print("replay ok" + (" (trace hash verified)" if expected else ""))
+        return
+
+    results = []
+    all_ok = True
+    for scenario in resolve(args.scenario):
+        strategy = make_strategy(args.strategy, seed=args.seed)
+        result = explore(
+            scenario, strategy, budget=args.budget, seed=args.seed,
+            progress=print,
+        )
+        entry = result.to_dict()
+        if result.minimized is not None and args.output:
+            minimized = result.minimized
+            trace = minimized.outcome.trace
+            trace.meta.update(
+                scenario=scenario.name,
+                seed=minimized.seed,
+                violation=minimized.violation,
+                trace_hash=minimized.replay_hash.get("trace"),
+            )
+            out_dir = os.path.dirname(os.path.abspath(args.output))
+            path = os.path.join(
+                out_dir, f"explore-{scenario.name}.trace.json"
+            )
+            trace.save(path)
+            entry["trace_path"] = path
+            print(f"{scenario.name}: minimal trace -> {path}")
+        results.append(entry)
+        all_ok = all_ok and result.ok
+    report = {
+        "seed": args.seed,
+        "strategy": args.strategy,
+        "budget": args.budget,
+        "scenarios": results,
+        "ok": all_ok,
+    }
+    found = sum(1 for r in results if "found_at" in r)
+    print(f"\n{len(results)} scenarios explored, {found} violations found "
+          f"and minimized: {'ok' if all_ok else 'FAILED'}")
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote report to {args.output}")
+    if not all_ok:
+        raise SystemExit(1)
+
+
+def _chaos_as_explore_scenario(name: str, meta: dict):
+    """Wrap a chaos scenario so a saved chaos trace can be replayed."""
+    from repro.analysis.chaos import (
+        CHAOS_RUN,
+        DIRECTED_SCENARIOS,
+        SWEEP_SCENARIOS,
+    )
+    from repro.analysis.faults import FaultPlan
+    from repro.explore import ExploreScenario
+
+    for chaos_scenario in DIRECTED_SCENARIOS + SWEEP_SCENARIOS:
+        if chaos_scenario.name == name:
+            break
+    else:
+        return None
+    plan_kwargs = dict(meta.get("plan", {}))
+    plan_kwargs["kill_immune"] = tuple(meta.get("kill_immune", ()))
+    return ExploreScenario(
+        name=name,
+        build=chaos_scenario.build,
+        horizon=CHAOS_RUN,
+        plan=FaultPlan(**plan_kwargs),
+        expect_violation=False,
+        check=lambda kernel: None,
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> None:
@@ -335,6 +454,10 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "chaos": (_cmd_chaos, "fault-injection sweep (stolen NOTIFYs, spurious "
                           "wakeups, FORK failures, kills, timer jitter) with "
                           "the waits-for watchdog and invariant checks"),
+    "explore": (_cmd_explore, "systematic schedule exploration: search the "
+                              "kernel's scheduling/fault decision space for "
+                              "invariant violations and shrink each find to "
+                              "a minimal replayable counterexample"),
     "serve": (_cmd_serve, "run the multi-tenant RPC server world and print "
                           "its latency-SLO report (p50/p95/p99/p999, "
                           "shed/timeout/retry counters, stats digest)"),
@@ -411,6 +534,23 @@ def main(argv: list[str] | None = None) -> int:
                              help="simulated run length in ms (default 2000)")
             sub.add_argument("--output", default=None,
                              help="write the JSON report here")
+        if name == "explore":
+            sub.add_argument("--scenario", default="directed",
+                             help="scenario name, comma list, or a group: "
+                                  "'directed', 'clean', 'all' "
+                                  "(default directed)")
+            sub.add_argument("--strategy", default="random",
+                             choices=["random", "pct", "seeds", "exhaustive"],
+                             help="schedule-generation strategy "
+                                  "(default random)")
+            sub.add_argument("--budget", type=int, default=200,
+                             help="max schedules per scenario (default 200)")
+            sub.add_argument("--replay", default=None, metavar="FILE",
+                             help="replay a saved decision trace instead of "
+                                  "exploring; verifies the recorded hash")
+            sub.add_argument("--output", default=None,
+                             help="write the JSON report here (minimal "
+                                  "traces are saved alongside it)")
         if name == "chaos":
             sub.add_argument("--runs", type=int, default=14,
                              help="sampled fault-plan runs (default 14)")

@@ -1,0 +1,212 @@
+"""What to explore and what counts as a violation.
+
+Directed scenarios carry a known schedule-dependent bug and the
+explorer must *find* it (and then shrink it); clean scenarios use the
+paper's correct idioms and the explorer must sweep its budget without
+tripping any invariant.  Builders are shared with the chaos harness
+where possible so the two tools agree on what the bugs look like.
+
+Violation checks are separate from the generic invariant harness
+(:func:`repro.analysis.chaos.check_invariants`, reused per schedule):
+a check names the scenario's *expected* failure — a watchdog-reported
+deadlock, a consumer that never consumed — while the harness names
+failures that are never acceptable (leaked monitor holds, undetected
+cycles, unreconciled stats, data races).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.analysis.chaos import _abba_deadlock, _producer_consumer, _wait_if_deadlock
+from repro.analysis.faults import FaultPlan
+from repro.kernel import Kernel, KernelConfig, msec, sec
+from repro.kernel.primitives import Enter, Exit, Notify, Pause
+from repro.sync.condition import ConditionVariable, await_condition_if_broken
+from repro.sync.monitor import Monitor
+from repro.workloads import build_cedar_world
+from repro.workloads.cedar import CEDAR_ACTIVITIES
+
+
+def _deadlock_check(kernel: Kernel) -> "str | None":
+    """Violation = the watchdog confirmed a waits-for cycle."""
+    if kernel.watchdog is not None and kernel.watchdog.deadlocks:
+        first = kernel.watchdog.deadlocks[0]
+        chain = " -> ".join(first.cycle + (first.cycle[0],))
+        return f"partial deadlock at t={first.time}us: {chain}"
+    return None
+
+
+def _no_violation(kernel: Kernel) -> "str | None":
+    return None
+
+
+def _make_stolen_notify():
+    """A single NOTIFY against an IF-guarded untimed WAIT (§4.2).
+
+    One fault decision exists in the whole run: steal that NOTIFY or
+    not.  Stolen, the consumer sleeps forever on an unowned monitor —
+    invisible to the waits-for watchdog (no cycle), caught only by the
+    progress check.  The exhaustive strategy finds it on schedule #1
+    and the minimal counterexample is exactly one forced decision.
+    """
+    state: dict[str, int] = {}
+
+    def build(config: KernelConfig):
+        state.clear()
+        state.update(ready=0, consumed=0)
+        kernel = Kernel(config)
+        lock = Monitor("explore.lock")
+        ready_cv = ConditionVariable(lock, "explore.ready")
+
+        def consumer():
+            yield Enter(lock)
+            try:
+                # Anti-pattern: IF + untimed WAIT; one stolen NOTIFY is fatal.
+                yield from await_condition_if_broken(
+                    ready_cv, lambda: state["ready"] > 0
+                )
+                state["consumed"] += 1
+            finally:
+                yield Exit(lock)
+
+        def producer():
+            yield Pause(msec(5))
+            yield Enter(lock)
+            try:
+                state["ready"] += 1
+                yield Notify(ready_cv)
+            finally:
+                yield Exit(lock)
+
+        kernel.fork_root(consumer, name="consumer", priority=5)
+        kernel.fork_root(producer, name="producer", priority=4)
+        return kernel, kernel.shutdown
+
+    def check(kernel: Kernel) -> "str | None":
+        producers_done = all(
+            not t.alive for t in kernel.threads.values() if t.name == "producer"
+        )
+        if producers_done and state.get("consumed", 0) == 0:
+            return (
+                "lost wakeup: the NOTIFY was stolen and the IF-guarded "
+                "consumer never consumed"
+            )
+        return None
+
+    return build, check
+
+
+_STOLEN_NOTIFY_BUILD, _STOLEN_NOTIFY_CHECK = _make_stolen_notify()
+
+
+def _cedar_idle(config: KernelConfig):
+    world, context = build_cedar_world(config)
+    install = CEDAR_ACTIVITIES["idle"]
+    if install is not None:
+        install(world, context)
+    return world.kernel, world.shutdown
+
+
+@dataclass(frozen=True)
+class ExploreScenario:
+    name: str
+    build: Callable[[KernelConfig], tuple]
+    #: Simulated horizon per schedule (early termination usually stops
+    #: a violating schedule well before it).
+    horizon: int
+    #: Fault seams to open as decision sites (None = scheduling only).
+    plan: "FaultPlan | None"
+    #: Directed scenarios expect the explorer to find a violation (and
+    #: fail if it cannot); clean scenarios expect a quiet budget.
+    expect_violation: bool
+    #: Scenario-specific violation predicate over the finished kernel.
+    check: Callable[[Kernel], "str | None"]
+    #: Run the dynamic race detector per schedule (micro-scenarios
+    #: only; the worlds are too hot for per-schedule race checking).
+    race_detection: bool = False
+    description: str = ""
+
+
+SCENARIOS: dict[str, ExploreScenario] = {
+    "wait-if": ExploreScenario(
+        name="wait-if",
+        build=_wait_if_deadlock,
+        horizon=sec(1),
+        plan=FaultPlan(spurious_wakeup_prob=0.5),
+        expect_violation=True,
+        check=_deadlock_check,
+        race_detection=True,
+        description="§5.3 WAIT-in-IF sprung into an ABBA cycle by a "
+                    "spurious wake landing inside the partner's window",
+    ),
+    "abba": ExploreScenario(
+        name="abba",
+        build=_abba_deadlock,
+        horizon=sec(1),
+        plan=None,
+        expect_violation=True,
+        check=_deadlock_check,
+        race_detection=True,
+        description="plain ABBA lock cycle; deadlocks on every schedule, "
+                    "so the minimal counterexample is zero forced decisions",
+    ),
+    "stolen-notify": ExploreScenario(
+        name="stolen-notify",
+        build=_STOLEN_NOTIFY_BUILD,
+        horizon=sec(1),
+        plan=FaultPlan(drop_notify_prob=0.5),
+        expect_violation=True,
+        check=_STOLEN_NOTIFY_CHECK,
+        race_detection=True,
+        description="one stolen NOTIFY against an IF-guarded untimed WAIT; "
+                    "no waits-for cycle, caught by the progress check",
+    ),
+    "producer-consumer": ExploreScenario(
+        name="producer-consumer",
+        build=_producer_consumer,
+        horizon=sec(1),
+        plan=FaultPlan(drop_notify_prob=0.5, spurious_wakeup_prob=0.5),
+        expect_violation=False,
+        check=_no_violation,
+        race_detection=True,
+        description="the correct WAIT-in-a-loop idiom with timeouts; must "
+                    "survive every explored steal/spurious combination",
+    ),
+    "cedar-idle": ExploreScenario(
+        name="cedar-idle",
+        build=_cedar_idle,
+        horizon=msec(500),
+        plan=None,
+        expect_violation=False,
+        check=_no_violation,
+        description="the Cedar world's background activity under forced "
+                    "scheduler picks; invariants must hold on every order",
+    ),
+}
+
+#: The scenarios with a known bug the explorer must find and shrink.
+DIRECTED = ("wait-if", "abba", "stolen-notify")
+#: The scenarios that must stay quiet for the whole budget.
+CLEAN = ("producer-consumer", "cedar-idle")
+
+
+def resolve(selector: str) -> "list[ExploreScenario]":
+    """Map a CLI selector to scenarios: a name, a comma list, or one of
+    the groups ``directed`` / ``clean`` / ``all``."""
+    if selector == "all":
+        names: "tuple[str, ...] | list[str]" = list(SCENARIOS)
+    elif selector == "directed":
+        names = DIRECTED
+    elif selector == "clean":
+        names = CLEAN
+    else:
+        names = [part.strip() for part in selector.split(",") if part.strip()]
+    missing = [name for name in names if name not in SCENARIOS]
+    if missing:
+        raise KeyError(
+            f"unknown scenario(s) {missing}; known: {sorted(SCENARIOS)} "
+            "plus the groups 'directed', 'clean', 'all'"
+        )
+    return [SCENARIOS[name] for name in names]

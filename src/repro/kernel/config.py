@@ -102,6 +102,16 @@ class KernelConfig:
     #: one fault kind never perturbs another kind's schedule.  Typed
     #: loosely to keep the kernel layer free of analysis imports.
     fault_plan: Any = None
+    #: Schedule-exploration seam
+    #: (:class:`repro.explore.trace.ScheduleController`) or None.  When
+    #: set, every nondeterministic choice point — the pick among
+    #: equal-best ready threads, fair-share lottery draws, fault-plan
+    #: samples — is routed through ``controller.decide`` so it can be
+    #: recorded, forced, or replayed.  None (the default) leaves every
+    #: hot path byte-identical to a controller-free run; the golden
+    #: schedule guard pins that.  Typed loosely for the same layering
+    #: reason as ``fault_plan``.
+    schedule_controller: Any = None
     #: Run the waits-for watchdog (:mod:`repro.analysis.watchdog`):
     #: partial-deadlock cycles among monitor/JOIN/untimed-CV waiters and
     #: a starvation monitor for ready-but-never-dispatched threads.

@@ -140,11 +140,18 @@ class Kernel:
         self.config = config or KernelConfig()
         self.now = 0
         self.rng = DeterministicRng(self.config.seed)
+        #: Schedule-exploration seam (repro.explore), or None.  Attached
+        #: before the scheduler and fault injector so both route their
+        #: nondeterministic choice points through it.
+        self.controller = self.config.schedule_controller
+        if self.controller is not None:
+            self.controller.attach(self)
         self.scheduler = Scheduler(
             self.config.ncpus,
             policy=self.config.scheduler_policy,
             rng=self.rng.fork("scheduler"),
         )
+        self.scheduler.controller = self.controller
         self.events = EventHeap()
         self.tracer = Tracer(self.config.trace, self.config.trace_categories)
         # Per-category trace flags, precomputed so hot paths skip even
@@ -301,16 +308,29 @@ class Kernel:
         """Advance the simulation by ``duration`` µs."""
         return self.run_until(self.now + duration, **kwargs)
 
-    def run_until(self, t_end: int, *, raise_on_deadlock: bool = True) -> int:
+    def run_until(
+        self,
+        t_end: int,
+        *,
+        raise_on_deadlock: bool = True,
+        stop_when: Callable[["Kernel"], bool] | None = None,
+    ) -> int:
         """Advance the simulation to ``t_end`` µs (absolute).
 
         Returns the final clock value.  Raises :class:`Deadlock` if live
         threads exist but nothing can ever run again.  Re-raises the first
         uncaught thread error at the end of the run when the config asks
         for propagation.
+
+        ``stop_when`` is evaluated after each processed instant (post
+        watchdog sweep); returning True ends the run early *without*
+        fast-forwarding the clock to ``t_end`` — the exploration driver
+        uses it to abandon dead schedules the moment a deadlock is
+        confirmed instead of grinding ticks to the horizon.
         """
         if t_end < self.now:
             raise ValueError(f"cannot run backwards ({t_end} < {self.now})")
+        stopped = False
         while True:
             self._dispatch_idle_cpus()
             t_next = self._next_time()
@@ -329,7 +349,11 @@ class Kernel:
             if self.watchdog is not None:
                 self.watchdog.maybe_check(self.now)
             self._check_preemption()
-        self.now = max(self.now, t_end)
+            if stop_when is not None and stop_when(self):
+                stopped = True
+                break
+        if not stopped:
+            self.now = max(self.now, t_end)
         self._propagate_errors()
         return self.now
 
@@ -1260,12 +1284,19 @@ class Kernel:
             thread.pending_send = None
             return _Outcome.CONTINUE
         wake = 1
-        if (
-            self.config.notify_wakes == WAKES_AT_LEAST_ONE
-            and len(cv.waiters) > 1
-            and self.rng.chance(self.config.at_least_one_extra_prob)
-        ):
-            wake = 2
+        if self.config.notify_wakes == WAKES_AT_LEAST_ONE and len(cv.waiters) > 1:
+            if self.controller is not None:
+                extra = self.controller.decide(
+                    "sched.notify_extra",
+                    2,
+                    lambda _seq: int(
+                        self.rng.chance(self.config.at_least_one_extra_prob)
+                    ),
+                )
+            else:
+                extra = self.rng.chance(self.config.at_least_one_extra_prob)
+            if extra:
+                wake = 2
         for _ in range(min(wake, len(cv.waiters))):
             self._wake_cv_waiter(cv)
         thread.pending_send = None

@@ -32,6 +32,11 @@ from repro.kernel.config import MAX_PRIORITY, MIN_PRIORITY
 from repro.kernel.thread import SimThread, ThreadState
 
 
+def _default_zero(_seq: int) -> int:
+    """Default for pick-style decision sites: the round-robin head."""
+    return 0
+
+
 class Cpu:
     """One simulated processor."""
 
@@ -87,6 +92,12 @@ class Scheduler:
         self.cpus = [Cpu(i) for i in range(ncpus)]
         self.policy = policy
         self.rng = rng
+        #: Schedule-exploration seam (set by the kernel when
+        #: ``config.schedule_controller`` is given).  When present, the
+        #: pick among equal-best ready threads, the lottery draw, and
+        #: donation-target ties become recorded/forcible decisions.
+        #: None keeps every dispatch path byte-identical to before.
+        self.controller = None
 
     # -- ready-queue bookkeeping -------------------------------------------
     #
@@ -209,7 +220,21 @@ class Scheduler:
         if not best:
             return None
         queue = self._queues[best]
-        thread = queue.popleft()
+        controller = self.controller
+        if controller is not None and len(queue) > 1:
+            # The paper's round-robin is one of many priority-respecting
+            # orders; exploration enumerates the rest.  Choice 0 is the
+            # queue head, so the default is exactly popleft().
+            index = controller.decide(
+                "sched.pick",
+                len(queue),
+                _default_zero,
+                labels=tuple(t.name for t in queue),
+            )
+            thread = queue[index]
+            del queue[index]
+        else:
+            thread = queue.popleft()
         self._note_removed(queue, best)
         return thread
 
@@ -227,16 +252,35 @@ class Scheduler:
         """The fair-share ticket draw over ``ready`` (no queue mutation)."""
         if not ready:
             return None
-        if len(ready) == 1 or self.rng is None:
+        controller = self.controller
+        if controller is not None and len(ready) > 1 and self.rng is not None:
+            index = controller.decide(
+                "sched.lottery",
+                len(ready),
+                lambda _seq: self._lottery_draw(ready),
+                labels=tuple(t.name for t in ready),
+            )
+            return ready[index]
+        if len(ready) == 1:
             return ready[0]
+        if self.rng is None:
+            # No RNG: fall back to the modal outcome of the documented
+            # ticket distribution — the first thread holding the most
+            # tickets.  The positional head is NOT that for unsorted
+            # input (peek_best_other hands us filtered lists).
+            return max(ready, key=lambda t: t.priority)
+        return ready[self._lottery_draw(ready)]
+
+    def _lottery_draw(self, ready: list[SimThread]) -> int:
+        """One seeded ticket draw; returns the winner's index."""
         tickets = [1 << (t.priority - 1) for t in ready]
         draw = self.rng.randint(1, sum(tickets))
         cumulative = 0
-        winner = ready[-1]
-        for thread, ticket_count in zip(ready, tickets):
+        winner = len(ready) - 1
+        for index, ticket_count in enumerate(tickets):
             cumulative += ticket_count
             if draw <= cumulative:
-                winner = thread
+                winner = index
                 break
         return winner
 
@@ -253,11 +297,27 @@ class Scheduler:
             others = [t for t in self.ready_threads() if t is not exclude]
             return self._lottery_pick(others)
         mask = self._nonempty_mask
+        controller = self.controller
         while mask:
             prio = mask.bit_length() - 1
-            for thread in self._queues[prio]:
-                if thread is not exclude:
-                    return thread
+            if controller is not None:
+                candidates = [
+                    t for t in self._queues[prio] if t is not exclude
+                ]
+                if candidates:
+                    if len(candidates) == 1:
+                        return candidates[0]
+                    index = controller.decide(
+                        "sched.donee",
+                        len(candidates),
+                        _default_zero,
+                        labels=tuple(t.name for t in candidates),
+                    )
+                    return candidates[index]
+            else:
+                for thread in self._queues[prio]:
+                    if thread is not exclude:
+                        return thread
             mask ^= 1 << prio
         return None
 

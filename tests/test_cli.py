@@ -167,3 +167,135 @@ class TestCli:
 
         loaded = json.loads(output.read_text())
         assert loaded["traceEvents"]
+
+
+class TestExploreCli:
+    def test_explore_help_documents_the_options(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for option in ("--scenario", "--strategy", "--budget", "--replay",
+                       "--output"):
+            assert option in out
+
+    def test_explore_finds_minimizes_and_writes_the_report(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        output = tmp_path / "explore.json"
+        assert main([
+            "--seed", "0", "explore", "--scenario", "stolen-notify",
+            "--strategy", "exhaustive", "--budget", "10",
+            "--output", str(output),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "found" in out and "minimize" in out
+        report = json.loads(output.read_text())
+        assert report["ok"] is True
+        (entry,) = report["scenarios"]
+        assert entry["minimized"]["choices"] == [1]
+        assert entry["minimized"]["deterministic"] is True
+        assert "trace_path" in entry
+
+    def test_explore_replay_verifies_the_saved_trace(self, capsys, tmp_path):
+        output = tmp_path / "explore.json"
+        assert main([
+            "explore", "--scenario", "stolen-notify",
+            "--strategy", "exhaustive", "--budget", "10",
+            "--output", str(output),
+        ]) == 0
+        capsys.readouterr()
+        trace_path = tmp_path / "explore-stolen-notify.trace.json"
+        assert trace_path.exists()
+        assert main(["explore", "--replay", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fault.drop_notify" in out
+        assert "violation: lost wakeup" in out
+        assert "replay ok (trace hash verified)" in out
+
+    def test_explore_replay_of_a_diverged_trace_exits_nonzero(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        output = tmp_path / "explore.json"
+        assert main([
+            "explore", "--scenario", "stolen-notify",
+            "--strategy", "exhaustive", "--budget", "10",
+            "--output", str(output),
+        ]) == 0
+        capsys.readouterr()
+        trace_path = tmp_path / "explore-stolen-notify.trace.json"
+        data = json.loads(trace_path.read_text())
+        data["meta"]["trace_hash"] = "0" * 64  # corrupt the recorded hash
+        trace_path.write_text(json.dumps(data))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", "--replay", str(trace_path)])
+        assert excinfo.value.code == 1
+        assert "REPLAY DIVERGED" in capsys.readouterr().out
+
+    def test_explore_exits_nonzero_when_the_bug_is_not_found(self, capsys):
+        # Budget 0 runs no schedules, so a directed scenario cannot meet
+        # its expectation: exit code must be non-zero for CI.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", "--scenario", "abba", "--budget", "0"])
+        assert excinfo.value.code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_explore_rejects_an_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            main(["explore", "--scenario", "no-such-scenario"])
+
+    def test_chaos_exits_nonzero_on_invariant_violations(
+        self, capsys, monkeypatch
+    ):
+        import repro.analysis.chaos as chaos
+
+        def failing_sweep(**kwargs):
+            return {
+                "ok": False,
+                "seed": 0,
+                "runs": [],
+                "summary": {
+                    "total": 1, "failed": 1, "faults_injected": 0,
+                    "deadlocks_detected": 0,
+                },
+            }
+
+        monkeypatch.setattr(chaos, "run_sweep", failing_sweep)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--smoke", "--skip-golden"])
+        assert excinfo.value.code == 1
+
+    def test_chaos_report_carries_trace_paths_for_failing_runs(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        import repro.analysis.chaos as chaos
+
+        # Sabotage one directed scenario so its run fails and must save
+        # its decision trace next to the report.
+        wedge = chaos.DIRECTED_SCENARIOS[0]
+        monkeypatch.setattr(
+            chaos, "DIRECTED_SCENARIOS",
+            (chaos.ChaosScenario(
+                wedge.name, wedge.build, expect_deadlock=wedge.expect_deadlock,
+                plan=wedge.plan,
+                post_check=lambda kernel: ["forced failure for the test"],
+            ),),
+        )
+        monkeypatch.setattr(chaos, "SWEEP_SCENARIOS", ())
+        output = tmp_path / "chaos.json"
+        with pytest.raises(SystemExit):
+            main(["chaos", "--runs", "0", "--skip-golden",
+                  "--output", str(output)])
+        report = json.loads(output.read_text())
+        (failing,) = [r for r in report["runs"] if r["failures"]]
+        assert failing["trace_path"]
+        from repro.explore import DecisionTrace
+
+        trace = DecisionTrace.load(failing["trace_path"])
+        assert trace.meta["failures"] == ["forced failure for the test"]

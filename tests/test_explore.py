@@ -1,0 +1,414 @@
+"""Schedule exploration: the controller seam, the strategies, the
+driver, and counterexample minimization.
+
+The two load-bearing properties:
+
+* **Record == golden == replay** — a recording controller changes
+  nothing (every pinned golden hash still matches), and forcing the
+  recorded choices back reproduces the identical run.
+* **Minimal counterexamples are pinned** — each directed scenario's
+  known bug is found within budget, shrinks to the expected minimal
+  forced schedule, and replays deterministically (same fingerprint on
+  two independent replays).
+"""
+
+import pytest
+
+from repro.explore import (
+    SCENARIOS,
+    DecisionTrace,
+    ExhaustivePrefixStrategy,
+    ScheduleController,
+    TAIL_BASELINE,
+    TAIL_DEFAULT,
+    all_waiting,
+    explore,
+    make_strategy,
+    minimize,
+    replay,
+    resolve,
+    run_schedule,
+)
+from repro.explore.trace import Decision
+
+
+def _const(value):
+    def default(_seq):
+        return default.calls.append(_seq) or value
+
+    default.calls = []
+    return default
+
+
+class TestScheduleController:
+    def test_single_alternative_is_not_a_decision(self):
+        controller = ScheduleController()
+        assert controller.decide("sched.pick", 1, _const(0)) == 0
+        assert controller.decide("sched.pick", 0, _const(0)) == 0
+        assert len(controller.trace) == 0
+
+    def test_default_tail_calls_default_with_site_seq(self):
+        controller = ScheduleController(tail=TAIL_DEFAULT)
+        default = _const(2)
+        assert controller.decide("sched.pick", 3, default) == 2
+        assert controller.decide("sched.pick", 3, default) == 2
+        assert controller.decide("fault.kill", 3, default) == 2
+        assert default.calls == [0, 1, 0]  # per-site sequence numbers
+
+    def test_baseline_tail_never_consults_the_default(self):
+        controller = ScheduleController(tail=TAIL_BASELINE)
+        default = _const(1)
+        assert controller.decide("sched.pick", 4, default) == 0
+        assert default.calls == []
+
+    def test_forced_choices_win_positionally(self):
+        controller = ScheduleController(
+            chooser=lambda point: 1, force=[2, 0], tail=TAIL_BASELINE
+        )
+        assert controller.decide("sched.pick", 3, _const(0)) == 2
+        assert controller.decide("fault.spurious", 2, _const(0)) == 0
+        # Past the forced prefix the chooser takes over.
+        assert controller.decide("sched.pick", 3, _const(0)) == 1
+        forced_flags = [d.forced for d in controller.trace.decisions]
+        assert forced_flags == [True, True, False]
+
+    def test_out_of_range_choice_is_clamped_and_counted(self):
+        controller = ScheduleController(force=[7], tail=TAIL_BASELINE)
+        assert controller.decide("sched.pick", 3, _const(0)) == 2
+        assert controller.divergences == 1
+
+    def test_trace_json_round_trip(self, tmp_path):
+        controller = ScheduleController(force=[1], tail=TAIL_BASELINE)
+        controller.decide("sched.pick", 3, _const(0), labels=("a", "b", "c"))
+        controller.decide("fault.drop_notify", 2, _const(0))
+        controller.trace.meta["scenario"] = "unit"
+        path = tmp_path / "trace.json"
+        controller.trace.save(str(path))
+        loaded = DecisionTrace.load(str(path))
+        assert loaded.choices == controller.trace.choices == [1, 0]
+        assert loaded.meta == {"scenario": "unit"}
+        assert loaded.decisions[0].labels == ("a", "b", "c")
+        assert loaded.decisions[0].forced is True
+
+    def test_render_marks_non_baseline_decisions(self):
+        trace = DecisionTrace(decisions=[
+            Decision("sched.pick", 0, 3, 1, True, 50, ("a", "b", "c")),
+            Decision("fault.drop_notify", 0, 2, 0, False, 99, ()),
+        ])
+        text = trace.render()
+        assert "sched.pick#0 -> b" in text
+        assert "(of: a, b, c)" in text
+        assert "[forced]" in text
+        assert "fault.drop_notify#0 -> no" in text
+        assert [d.choice for d in trace.non_baseline()] == [1]
+
+
+class TestGoldenRecordReplay:
+    """Satellite: record-then-replay is byte-identical on every golden
+    scenario — and recording itself does not disturb the pinned hashes."""
+
+    def test_every_golden_scenario_records_and_replays_identically(self):
+        from repro.analysis.golden import SCENARIOS as GOLDEN, load_golden
+
+        golden = load_golden()
+        for name, run in GOLDEN.items():
+            recorder = ScheduleController(tail=TAIL_DEFAULT)
+            recorded = run(
+                config_overrides={"schedule_controller": recorder}
+            )
+            assert recorded == golden[name], (
+                f"{name}: recording controller changed the schedule"
+            )
+            replayer = ScheduleController(
+                force=recorder.trace.choices, tail=TAIL_DEFAULT
+            )
+            replayed = run(
+                config_overrides={"schedule_controller": replayer}
+            )
+            assert replayed == recorded, f"{name}: replay diverged"
+            assert replayer.divergences == 0, f"{name}: clamped choices"
+
+
+class TestDirectedExploration:
+    def test_wait_if_found_and_minimized_within_budget(self):
+        scenario = SCENARIOS["wait-if"]
+        result = explore(
+            scenario, make_strategy("random", seed=0), budget=200, seed=0
+        )
+        assert result.ok
+        assert result.found is not None
+        # The deadlock ends the schedule early; no grinding to horizon.
+        assert result.found.stopped_at < scenario.horizon
+        assert "partial deadlock" in result.found.violation
+        minimized = result.minimized
+        assert minimized.deterministic
+        # One spurious wake anywhere in the partner's 400 ms window is
+        # the whole bug: exactly one non-baseline decision survives.
+        assert sum(1 for c in minimized.choices if c) == 1
+        assert minimized.violation.startswith("partial deadlock")
+
+    def test_wait_if_full_failing_trace_replays_to_same_fingerprint(self):
+        # The forced-replay composition with the fault plan (per-decision
+        # forked streams): replaying the complete recorded schedule of a
+        # failing run reproduces its fingerprint bit-for-bit.
+        scenario = SCENARIOS["wait-if"]
+        result = explore(
+            scenario, make_strategy("random", seed=0), budget=200, seed=0
+        )
+        failing = result.found
+        again = replay(scenario, failing.trace.choices, seed=failing.seed)
+        assert again.violation == failing.violation
+        assert again.fingerprint == failing.fingerprint
+
+    def test_abba_minimizes_to_the_empty_schedule(self):
+        result = explore(
+            SCENARIOS["abba"], make_strategy("random", seed=0),
+            budget=10, seed=0,
+        )
+        assert result.ok
+        # ABBA deadlocks on *every* schedule, including the all-baseline
+        # one — the minimal counterexample forces nothing at all.
+        assert result.minimized.choices == []
+        assert result.minimized.deterministic
+
+    def test_stolen_notify_exhaustive_finds_the_one_bit(self):
+        result = explore(
+            SCENARIOS["stolen-notify"],
+            make_strategy("exhaustive"),
+            budget=10, seed=0,
+        )
+        assert result.ok
+        # Schedule 0 is the quiet baseline; schedule 1 flips the single
+        # drop_notify decision, which IS the bug.
+        assert result.found.index == 1
+        assert result.minimized.choices == [1]
+        assert result.minimized.deterministic
+        sites = [d.site for d in result.minimized.outcome.trace.decisions]
+        assert sites[0] == "fault.drop_notify"
+
+    def test_minimized_wait_if_renders_a_readable_interleaving(self):
+        result = explore(
+            SCENARIOS["wait-if"], make_strategy("random", seed=0),
+            budget=200, seed=0,
+        )
+        text = result.minimized.render()
+        assert "minimal counterexample for 'wait-if'" in text
+        assert "deterministic" in text
+        assert "fault.spurious" in text
+        assert "violation: partial deadlock" in text
+
+
+class TestCleanExploration:
+    def test_producer_consumer_survives_random_schedules(self):
+        result = explore(
+            SCENARIOS["producer-consumer"],
+            make_strategy("random", seed=0),
+            budget=20, seed=0,
+        )
+        assert result.ok
+        assert result.schedules_run == 20
+        assert result.found is None and result.unexpected is None
+        assert not result.harness_failures
+
+    def test_cedar_world_survives_forced_scheduler_picks(self):
+        result = explore(
+            SCENARIOS["cedar-idle"], make_strategy("random", seed=1),
+            budget=5, seed=0,
+        )
+        assert result.ok
+        assert result.schedules_run == 5
+
+    def test_producer_consumer_survives_pct_schedules(self):
+        result = explore(
+            SCENARIOS["producer-consumer"],
+            make_strategy("pct", seed=0),
+            budget=10, seed=0,
+        )
+        assert result.ok
+
+
+class TestStrategies:
+    def test_exhaustive_successor_is_lexicographic(self):
+        strategy = ExhaustivePrefixStrategy()
+
+        def observed(choices, ns):
+            trace = DecisionTrace(decisions=[
+                Decision("sched.pick", i, n, c, False, 0)
+                for i, (c, n) in enumerate(zip(choices, ns))
+            ])
+            strategy.observe(trace)
+            return strategy._next_prefix
+
+        assert observed([0, 0], [2, 3]) == [0, 1]
+        assert observed([0, 1], [2, 3]) == [0, 2]
+        assert observed([0, 2], [2, 3]) == [1]
+        assert observed([1, 0], [2, 3]) == [1, 1]
+        assert observed([1, 2], [2, 3]) is None
+        assert strategy.exhausted
+
+    def test_exhaustive_horizon_bounds_the_tree(self):
+        strategy = ExhaustivePrefixStrategy(horizon=1)
+        trace = DecisionTrace(decisions=[
+            Decision("sched.pick", 0, 2, 1, False, 0),
+            Decision("sched.pick", 1, 5, 0, False, 0),  # beyond horizon
+        ])
+        strategy.observe(trace)
+        assert strategy.exhausted  # position 1 is out of bounds, 0 is maxed
+
+    def test_exhaustive_terminates_on_stolen_notify(self):
+        # The whole bounded tree is two schedules; the budget is not
+        # the thing that stops the loop.
+        scenario = SCENARIOS["stolen-notify"]
+        strategy = make_strategy("exhaustive")
+        seen = []
+        for index in range(50):
+            if strategy.exhausted:
+                break
+            controller = strategy.controller(index)
+            outcome = run_schedule(scenario, controller, seed=0, index=index)
+            strategy.observe(outcome.trace)
+            seen.append(outcome.trace.choices)
+        assert seen == [[0], [1]]
+
+    def test_seed_sweep_varies_the_kernel_seed(self):
+        strategy = make_strategy("seeds")
+        assert strategy.kernel_seed(0, 7) == 7
+        assert strategy.kernel_seed(3, 7) == 10
+
+    def test_random_walk_is_deterministic_per_index(self):
+        from repro.explore.trace import DecisionPoint
+
+        point = DecisionPoint("sched.pick", 0, 0, 5, 0, ())
+        one = make_strategy("random", seed=3).controller(4)
+        two = make_strategy("random", seed=3).controller(4)
+        assert one.chooser(point) == two.chooser(point)
+
+
+class TestEarlyTermination:
+    def test_all_waiting_detects_an_undetectable_wedge(self):
+        # Two threads in an ABBA embrace, a fault plan whose ticks keep
+        # the clock alive forever, and no watchdog sweep yet: the
+        # all-waiting check is what ends the schedule.
+        from repro.analysis.faults import FaultPlan
+        from repro.kernel import Kernel, KernelConfig, msec
+        from repro.kernel.primitives import Enter, Exit, Pause
+
+        from repro.sync.monitor import Monitor
+
+        config = KernelConfig(
+            seed=0, fault_plan=FaultPlan(kill_thread_prob=0.001,
+                                         kill_immune=("a", "b")),
+            watchdog=True,
+        )
+        kernel = Kernel(config)
+        m1, m2 = Monitor("x.a"), Monitor("x.b")
+
+        def first():
+            yield Enter(m1)
+            yield Pause(msec(1))
+            yield Enter(m2)
+            yield Exit(m2)
+            yield Exit(m1)
+
+        def second():
+            yield Enter(m2)
+            yield Pause(msec(1))
+            yield Enter(m1)
+            yield Exit(m1)
+            yield Exit(m2)
+
+        kernel.fork_root(first, name="a", priority=4)
+        kernel.fork_root(second, name="b", priority=4)
+        assert not all_waiting(kernel)  # nothing has even run
+        kernel.run_until(
+            msec(500), raise_on_deadlock=False,
+            stop_when=all_waiting,
+        )
+        # Without the stop the fault ticks would grind to the horizon.
+        assert kernel.now < msec(500)
+        assert all_waiting(kernel)
+        kernel.shutdown()
+
+    def test_untimed_cv_wait_is_live_while_spurious_wakes_are_possible(self):
+        from repro.analysis.faults import FaultPlan
+        from repro.explore.scenarios import _STOLEN_NOTIFY_BUILD
+        from repro.kernel import KernelConfig, msec
+
+        config = KernelConfig(
+            seed=0, fault_plan=FaultPlan(spurious_wakeup_prob=0.0001),
+            watchdog=True,
+        )
+        kernel, shutdown = _STOLEN_NOTIFY_BUILD(config)
+        kernel.run_until(msec(100), raise_on_deadlock=False)
+        waiting = [
+            t for t in kernel.threads.values()
+            if t.alive and t.state.value == "waiting-cv"
+        ]
+        if waiting:  # the consumer is parked untimed
+            assert not all_waiting(kernel)
+        shutdown()
+
+
+class TestMinimization:
+    def test_minimize_rejects_a_trace_that_does_not_replay(self):
+        scenario = SCENARIOS["producer-consumer"]
+        outcome = run_schedule(
+            scenario, ScheduleController(tail=TAIL_DEFAULT), seed=0
+        )
+        assert outcome.violation is None
+        outcome.violation = "fabricated"  # lie about the verdict
+        assert minimize(scenario, outcome) is None
+
+    def test_minimize_reports_replay_budget(self):
+        result = explore(
+            SCENARIOS["abba"], make_strategy("random", seed=0),
+            budget=5, seed=0,
+        )
+        assert 0 < result.minimized.replays <= 50
+
+
+class TestChaosIntegration:
+    def test_failing_chaos_run_saves_a_replayable_trace(self, tmp_path):
+        from repro.analysis.chaos import ChaosScenario, _abba_deadlock, run_one
+        from repro.analysis.faults import FaultPlan
+
+        scenario = ChaosScenario(
+            "abba-directed", _abba_deadlock, expect_deadlock=True,
+            post_check=lambda kernel: ["synthetic invariant failure"],
+        )
+        record = run_one(
+            scenario, FaultPlan(), 0, trace_dir=str(tmp_path)
+        )
+        assert not record.ok
+        assert record.trace_path is not None
+        trace = DecisionTrace.load(record.trace_path)
+        assert trace.meta["scenario"] == "abba-directed"
+        assert "synthetic invariant failure" in trace.meta["failures"]
+
+    def test_passing_chaos_run_saves_nothing(self, tmp_path):
+        from repro.analysis.chaos import SWEEP_SCENARIOS, run_one
+        from repro.analysis.faults import FaultPlan
+
+        scenario = next(
+            s for s in SWEEP_SCENARIOS if s.name == "producer-consumer"
+        )
+        record = run_one(scenario, FaultPlan(), 0, trace_dir=str(tmp_path))
+        assert record.ok
+        assert record.trace_path is None
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestScenarioRegistry:
+    def test_resolve_groups_and_lists(self):
+        assert [s.name for s in resolve("directed")] == [
+            "wait-if", "abba", "stolen-notify"
+        ]
+        assert [s.name for s in resolve("clean")] == [
+            "producer-consumer", "cedar-idle"
+        ]
+        assert len(resolve("all")) == len(SCENARIOS)
+        assert [s.name for s in resolve("abba,wait-if")] == [
+            "abba", "wait-if"
+        ]
+        with pytest.raises(KeyError):
+            resolve("no-such-scenario")

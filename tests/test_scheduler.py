@@ -378,3 +378,93 @@ class TestMultiprocessor:
         # 300 ms of work on 2 CPUs: last finisher at 150 ms.
         assert max(finish.values()) == msec(150)
         assert min(finish.values()) == msec(100)
+
+
+class TestLotteryPick:
+    """The fair-share ticket draw (`Scheduler._lottery_pick`), including
+    the rng-less fallback regression: the fallback must honour the
+    documented ticket distribution, not the list's arrival order."""
+
+    class FakeThread:
+        def __init__(self, name, priority):
+            self.name = name
+            self.priority = priority
+
+        def __repr__(self):
+            return f"<{self.name} prio={self.priority}>"
+
+    def _scheduler(self, rng):
+        from repro.kernel.scheduler import Scheduler
+
+        return Scheduler(1, policy="fair_share", rng=rng)
+
+    def test_seeded_draw_tracks_ticket_proportions(self):
+        from repro.kernel.rng import DeterministicRng
+
+        sched = self._scheduler(DeterministicRng(0).fork("sched"))
+        threads = [
+            self.FakeThread("low", 1),    # 1 ticket
+            self.FakeThread("mid", 2),    # 2 tickets
+            self.FakeThread("high", 3),   # 4 tickets
+        ]
+        wins = {"low": 0, "mid": 0, "high": 0}
+        for _ in range(7000):
+            wins[sched._lottery_pick(threads).name] += 1
+        # Deterministic in the seed; expectation is 1000/2000/4000.
+        assert wins["low"] < wins["mid"] < wins["high"]
+        assert abs(wins["low"] - 1000) < 150
+        assert abs(wins["mid"] - 2000) < 150
+        assert abs(wins["high"] - 4000) < 150
+
+    def test_rngless_fallback_follows_tickets_not_list_order(self):
+        # Regression: the fallback used to return ready[0] regardless of
+        # tickets, which is wrong for the unsorted filtered lists
+        # peek_best_other hands over.
+        sched = self._scheduler(None)
+        low_first = [
+            self.FakeThread("low", 2),
+            self.FakeThread("high", 6),
+            self.FakeThread("mid", 4),
+        ]
+        assert sched._lottery_pick(low_first).name == "high"
+        # Ties: first of the maximal-ticket threads (stable, modal).
+        tied = [
+            self.FakeThread("low", 1),
+            self.FakeThread("first-high", 5),
+            self.FakeThread("second-high", 5),
+        ]
+        assert sched._lottery_pick(tied).name == "first-high"
+
+    def test_single_candidate_consumes_no_rng_state(self):
+        class CountingRng:
+            def __init__(self):
+                self.draws = 0
+
+            def randint(self, low, high):
+                self.draws += 1
+                return low
+
+        rng = CountingRng()
+        sched = self._scheduler(rng)
+        only = [self.FakeThread("solo", 3)]
+        assert sched._lottery_pick(only).name == "solo"
+        assert rng.draws == 0
+        assert sched._lottery_pick([]) is None
+        assert rng.draws == 0
+
+    def test_peek_best_other_fair_share_uses_the_fallback_correctly(self):
+        # End-to-end through the kernel: under fair share with the
+        # donation path, peek_best_other must not hand the donation to
+        # an arbitrary list head.
+        sched = self._scheduler(None)
+        low = self.FakeThread("low", 1)
+        high = self.FakeThread("high", 5)
+        from repro.kernel.thread import ThreadState
+
+        for fake in (low, high):
+            fake.state = ThreadState.NEW
+            fake.blocked_on = None
+        sched.make_ready(low)
+        sched.make_ready(high)
+        chosen = sched.peek_best_other(exclude=self.FakeThread("me", 3))
+        assert chosen.name == "high"
