@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench bench-perf bench-server bench-cluster golden tables census races chaos explore serve cluster quick all
+.PHONY: install test lint bench bench-perf bench-server bench-cluster golden tables census races chaos explore serve cluster failover quick all
 
 install:
 	pip install -e . --no-build-isolation
@@ -60,6 +60,13 @@ serve:
 # The sharded cluster world (balancer + N shards) with its SLO rollup.
 cluster:
 	PYTHONPATH=src python -m repro cluster
+
+# The failover battery: directed kill-primary + partition-balancer chaos
+# plus schedule exploration of the replicated cluster (zero lost
+# acknowledged requests; see docs/CLUSTER.md "Replication & failover").
+failover:
+	PYTHONPATH=src python -m repro --seed 0 chaos --scenario cluster-kill-primary,cluster-partition-balancer --runs 0 --skip-golden --output failover-report.json
+	PYTHONPATH=src python -m repro --seed 0 explore --scenario cluster-failover --budget 50 --output failover-explore.json
 
 quick:
 	python examples/quickstart.py

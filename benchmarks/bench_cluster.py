@@ -20,9 +20,10 @@ import sys
 from pathlib import Path
 
 from repro.cluster.model import cluster_tenants
-from repro.cluster.world import run_cluster
+from repro.cluster.replication import install_primary_kill
+from repro.cluster.world import build_cluster_world, run_cluster, summarize_cluster
 from repro.kernel.config import KernelConfig
-from repro.kernel.simtime import sec
+from repro.kernel.simtime import msec, sec
 from repro.server.world import build_server_world
 
 SCENARIOS = ("steady", "skewed")
@@ -131,6 +132,67 @@ def run_single_baseline(duration: int = FULL_RUN) -> dict:
     }
 
 
+#: When the failover bench kills shard 0's primary: late enough for a
+#: full pipeline of acknowledged in-flight work, early enough that even
+#: the quick run covers promotion and the post-failover drain.
+KILL_AT = msec(300)
+
+
+def _failover_run(duration: int, *, kill: bool):
+    """One replicated failover-mix run, optionally killing a primary."""
+    config = KernelConfig(seed=0, ncpus=4)
+    world, balancer = build_cluster_world(
+        config, scenario="failover", replicas=True, standby=False
+    )
+    if kill:
+        install_primary_kill(world, balancer, 0, KILL_AT)
+    world.run_for(duration)
+    report = summarize_cluster(
+        balancer, scenario="failover", seed=0, duration=duration
+    )
+    world.shutdown()
+    return report
+
+
+def run_failover_bench(duration: int = FULL_RUN) -> dict:
+    """Baseline vs kill-primary on the replicated failover mix.
+
+    The artifact records the failover run's p99 next to the undisturbed
+    baseline's, the promotion latency (kill -> replica promoted), and
+    the loss counters that must all be zero — the cost of failover is a
+    bounded latency bulge, never lost acknowledged work.
+    """
+    baseline = _failover_run(duration, kill=False)
+    killed = _failover_run(duration, kill=True)
+
+    def fold(report) -> dict:
+        merged = report.to_dict()["merged"]
+        return {
+            "throughput_per_sec": report.throughput_per_sec,
+            "latency": {
+                name: merged["latency"][name]
+                for name in ("p50", "p95", "p99", "p999")
+            },
+            "digest": report.digest,
+        }
+
+    promoted_at = killed.balancer["promoted_at"]
+    promotion_latency = promoted_at[0] - KILL_AT if promoted_at else None
+    result = fold(killed)
+    result.update(
+        promotions=killed.balancer["promotions"],
+        replayed=killed.balancer["replayed"],
+        quarantined=killed.balancer["quarantined"],
+        lost_inflight=sum(killed.balancer["lost_inflight"]),
+        promotion_latency_us=promotion_latency,
+    )
+    return {
+        "kill_at_us": KILL_AT,
+        "baseline": fold(baseline),
+        "killed": result,
+    }
+
+
 # ---------------------------------------------------------------------------
 # pytest acceptance entry points
 # ---------------------------------------------------------------------------
@@ -181,6 +243,26 @@ def test_two_shards_beat_single_server():
     )
 
 
+def test_failover_is_bounded_and_lossless():
+    """The failover claim: killing a primary mid-run costs a bounded
+    latency bulge — promotion within two probe windows, p99 under a
+    second — and zero acknowledged requests (no inflight loss, no
+    quarantine, work demonstrably replayed onto the replica)."""
+    result = run_failover_bench(QUICK_RUN)
+    killed = result["killed"]
+    assert killed["promotions"] >= 1
+    assert killed["replayed"] >= 1
+    assert killed["lost_inflight"] == 0
+    assert killed["quarantined"] == 0
+    assert killed["promotion_latency_us"] is not None
+    assert killed["promotion_latency_us"] <= msec(600)
+    assert killed["latency"]["p99"] <= sec(1)
+    assert (
+        killed["throughput_per_sec"]
+        >= 0.9 * result["baseline"]["throughput_per_sec"]
+    )
+
+
 def test_cluster_digest_is_deterministic():
     """Same seed and knobs => identical cluster digest."""
     first = run_cluster(scenario="steady", duration=QUICK_RUN)
@@ -214,6 +296,14 @@ def main(argv: list[str]) -> int:
         f"  single-server baseline (8 workers, 1 cpu): "
         f"{baseline['throughput_per_sec']:.1f} req/s"
     )
+    failover = run_failover_bench(duration)
+    print(
+        f"  failover: promotion in "
+        f"{failover['killed']['promotion_latency_us'] / 1000:.0f}ms, "
+        f"p99 {failover['baseline']['latency']['p99'] / 1000:.1f}ms -> "
+        f"{failover['killed']['latency']['p99'] / 1000:.1f}ms, "
+        f"lost {failover['killed']['lost_inflight']}"
+    )
     payload = {
         "duration_us": duration,
         "admission_capacity": ADMISSION_CAPACITY,
@@ -225,6 +315,7 @@ def main(argv: list[str]) -> int:
             "admissions": list(ADMISSIONS),
         },
         "single_server_baseline": baseline,
+        "failover": failover,
         "runs": cells,
     }
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

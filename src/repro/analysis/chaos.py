@@ -53,6 +53,11 @@ from repro.sync.condition import (
     await_condition,
     await_condition_if_broken,
 )
+from repro.cluster.replication import (
+    install_balancer_kill,
+    install_primary_kill,
+    lost_requests,
+)
 from repro.cluster.world import build_cluster_world
 from repro.server.model import TenantSpec
 from repro.server.world import build_server_world
@@ -215,16 +220,20 @@ def _make_cluster_wedge():
     Poison requests with effectively-infinite compute occupy every
     worker of shard 0 (plus its serializer), so its outcome counters
     stop while its queues hold work.  The balancer's health sleeper must
-    trip the breaker, evacuate the queued requests and re-dispatch them
-    (bounded one-shots), traffic must keep completing on the surviving
-    shard, and the watchdog must stay quiet throughout — a wedged shard
-    is congestion, not deadlock.
+    trip the breaker, and — now that the shard is replicated — promote
+    the replica, replaying the acknowledged in-flight requests instead
+    of dropping them (``lost_inflight`` must stay zero; it counted 15+
+    per run before replication).  Traffic must keep completing on the
+    surviving shards, and the watchdog must stay quiet throughout — a
+    wedged shard is congestion, not deadlock.
     """
     state: dict[str, Any] = {}
 
     def build(config: KernelConfig):
-        config.ncpus = 2
-        world, balancer = build_cluster_world(config, scenario="steady")
+        config.ncpus = 4
+        world, balancer = build_cluster_world(
+            config, scenario="steady", replicas=True, standby=False
+        )
         state["balancer"] = balancer
         shard0 = balancer.shards[0]
         poison = TenantSpec(
@@ -262,8 +271,17 @@ def _make_cluster_wedge():
         failures = []
         if balancer.trips < 1:
             failures.append("wedge: health probe never tripped the breaker")
-        if balancer.reroutes < 1:
-            failures.append("wedge: no queued request was re-routed")
+        if balancer.promotions < 1:
+            failures.append("wedge: tripped shard was never promoted")
+        if balancer.replayed < 1:
+            failures.append(
+                "wedge: no in-flight request was replayed onto the replica"
+            )
+        lost = sum(balancer.lost_inflight)
+        if lost:
+            failures.append(
+                f"wedge: {lost} acknowledged in-flight requests dropped"
+            )
         survivors = sum(
             shard.stats.total("completed")
             for sid, shard in enumerate(balancer.shards)
@@ -271,6 +289,8 @@ def _make_cluster_wedge():
         )
         if survivors == 0:
             failures.append("wedge: no completions on the surviving shards")
+        if balancer.shards[0].stats.total("completed") == 0:
+            failures.append("wedge: promoted replica completed nothing")
         if kernel.watchdog is not None and kernel.watchdog.deadlocks:
             failures.append(
                 "wedge: watchdog reported a deadlock for a congested shard"
@@ -281,6 +301,165 @@ def _make_cluster_wedge():
 
 
 _CLUSTER_WEDGE_BUILD, _CLUSTER_WEDGE_CHECK = _make_cluster_wedge()
+
+
+def _track_minted(balancer) -> list:
+    """Wrap the balancer's request factory so every minted request is
+    recorded — the ground-truth population for the custody audit."""
+    minted: list = []
+    original = balancer.factory.make
+
+    def make(*args, **kwargs):
+        req = original(*args, **kwargs)
+        minted.append(req)
+        return req
+
+    balancer.factory.make = make
+    return minted
+
+
+def _settled_losses(kernel: Kernel, balancer, minted: list) -> list:
+    """Requests that vanished: still PENDING yet held by no component.
+
+    A request can be transiently unheld while a reroute/retry one-shot
+    is being forked, so a nonzero audit gets up to three short settle
+    windows before it counts as loss.
+    """
+    lost = lost_requests(balancer, minted)
+    for _ in range(3):
+        if not lost:
+            break
+        kernel.run_for(msec(40), raise_on_deadlock=False)
+        lost = lost_requests(balancer, minted)
+    return lost
+
+
+def _make_kill_primary():
+    """Directed: kill every thread of a primary shard mid-batch.
+
+    At ``msec(100)`` the failover mix has acknowledged work in every
+    stage of shard 0 — queued, executing, retry-parked — when a posted
+    event kills all of its threads at once.  The health probe must trip
+    on the stalled progress counters, promote the replica, and replay
+    the un-acked in-flight requests from the retransmit buffer against
+    the replica's applied op log.  The custody audit then proves the
+    tentpole claim: **zero acknowledged requests lost** — every minted
+    request is either terminal or held by some live component.
+    """
+    state: dict[str, Any] = {}
+
+    def build(config: KernelConfig):
+        config.ncpus = 4
+        world, balancer = build_cluster_world(
+            config, scenario="failover", replicas=True, standby=False
+        )
+        state["balancer"] = balancer
+        state["minted"] = _track_minted(balancer)
+        install_primary_kill(world, balancer, 0, msec(100))
+        return world.kernel, world.shutdown
+
+    def post_check(kernel: Kernel) -> list[str]:
+        balancer = state.get("balancer")
+        if balancer is None:
+            return ["kill-primary: balancer never built"]
+        failures = []
+        if balancer.promotions < 1:
+            failures.append("kill-primary: replica was never promoted")
+        if balancer.replayed < 1:
+            failures.append(
+                "kill-primary: no in-flight request was replayed"
+            )
+        if sum(balancer.lost_inflight):
+            failures.append(
+                "kill-primary: lost_inflight counted on a replicated shard"
+            )
+        if balancer.quarantined:
+            failures.append(
+                "kill-primary: requests quarantined despite a live replica"
+            )
+        if balancer.shards[0].stats.total("completed") == 0:
+            failures.append(
+                "kill-primary: promoted replica completed nothing"
+            )
+        lost = _settled_losses(kernel, balancer, state["minted"])
+        if lost:
+            rids = ", ".join(req.rid for req in lost[:5])
+            failures.append(
+                f"kill-primary: {len(lost)} acknowledged requests "
+                f"vanished ({rids})"
+            )
+        if kernel.watchdog is not None and kernel.watchdog.deadlocks:
+            failures.append(
+                "kill-primary: watchdog reported a deadlock during failover"
+            )
+        return failures
+
+    return build, post_check
+
+
+_KILL_PRIMARY_BUILD, _KILL_PRIMARY_CHECK = _make_kill_primary()
+
+
+def _make_partition_balancer():
+    """Directed: partition away the balancer; the standby must take over.
+
+    A posted event kills the primary balancer's whole thread population
+    at ``msec(150)``.  Its lease stops being renewed, so the standby's
+    watch sleeper must seize it, rebuild routing state from the shards'
+    own progress counters, re-inject anything the dead pipeline was
+    carrying between queues, and fork a replacement population.  The
+    cluster must demonstrably complete work *after* the takeover, and
+    the custody audit must find no vanished requests.
+    """
+    state: dict[str, Any] = {}
+
+    def build(config: KernelConfig):
+        config.ncpus = 4
+        world, balancer = build_cluster_world(
+            config, scenario="failover", replicas=True, standby=True
+        )
+        state["balancer"] = balancer
+        state["minted"] = _track_minted(balancer)
+        install_balancer_kill(world, balancer, msec(150))
+        return world.kernel, world.shutdown
+
+    def post_check(kernel: Kernel) -> list[str]:
+        balancer = state.get("balancer")
+        if balancer is None:
+            return ["partition: balancer never built"]
+        failures = []
+        lease = balancer.lease
+        standby = balancer.standby
+        if lease is None or lease.takeovers < 1:
+            failures.append("partition: standby never seized the lease")
+        if standby is None or not standby.active:
+            failures.append("partition: standby never activated")
+        else:
+            done = sum(
+                balancer.shard_done(sid)
+                for sid in range(len(balancer.shards))
+            )
+            if done <= standby.completed_at_takeover:
+                failures.append(
+                    "partition: no completions after the takeover"
+                )
+        lost = _settled_losses(kernel, balancer, state["minted"])
+        if lost:
+            rids = ", ".join(req.rid for req in lost[:5])
+            failures.append(
+                f"partition: {len(lost)} acknowledged requests "
+                f"vanished ({rids})"
+            )
+        if kernel.watchdog is not None and kernel.watchdog.deadlocks:
+            failures.append(
+                "partition: watchdog reported a deadlock during takeover"
+            )
+        return failures
+
+    return build, post_check
+
+
+_PARTITION_LB_BUILD, _PARTITION_LB_CHECK = _make_partition_balancer()
 
 
 def _wait_if_deadlock(config: KernelConfig):
@@ -422,6 +601,18 @@ DIRECTED_SCENARIOS: tuple[ChaosScenario, ...] = (
         _CLUSTER_WEDGE_BUILD,
         plan=FaultPlan(),
         post_check=_CLUSTER_WEDGE_CHECK,
+    ),
+    ChaosScenario(
+        "cluster-kill-primary",
+        _KILL_PRIMARY_BUILD,
+        plan=FaultPlan(),
+        post_check=_KILL_PRIMARY_CHECK,
+    ),
+    ChaosScenario(
+        "cluster-partition-balancer",
+        _PARTITION_LB_BUILD,
+        plan=FaultPlan(),
+        post_check=_PARTITION_LB_CHECK,
     ),
 )
 
@@ -654,16 +845,32 @@ def run_sweep(
     check_golden: bool = True,
     progress: Callable[[str], None] | None = None,
     trace_dir: str | None = None,
+    scenarios: tuple[str, ...] | None = None,
 ) -> dict:
     """The full sweep: directed scenarios, sampled plans, golden check.
 
     Returns the JSON-serialisable report.  Deterministic in ``seed``.
+    ``scenarios`` restricts the directed set by name (the sampled runs
+    are controlled separately by ``runs``) — CI's failover smoke runs
+    just the two failover scenarios with ``runs=0``.
     """
+    directed = DIRECTED_SCENARIOS
+    if scenarios is not None:
+        known = {s.name for s in DIRECTED_SCENARIOS}
+        unknown = sorted(set(scenarios) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown directed chaos scenario(s) {unknown}; "
+                f"available: {sorted(known)}"
+            )
+        directed = tuple(
+            s for s in DIRECTED_SCENARIOS if s.name in set(scenarios)
+        )
     rng = DeterministicRng(seed).fork("chaos")
     say = progress or (lambda line: None)
     records: list[RunRecord] = []
 
-    for scenario in DIRECTED_SCENARIOS:
+    for scenario in directed:
         record = run_one(scenario, scenario.plan, seed, trace_dir=trace_dir)
         say(f"{scenario.name}: deadlocks={record.deadlocks} "
             f"{'ok' if record.ok else 'FAIL'}")

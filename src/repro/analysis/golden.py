@@ -1,7 +1,7 @@
 """Golden-schedule scenarios and fingerprinting, as a library.
 
 The determinism guard (``tests/test_golden_schedule.py``) pins SHA-256
-digests of seventeen scenarios' full trace streams and final statistics.
+digests of nineteen scenarios' full trace streams and final statistics.
 This module holds the scenario bodies and the fingerprint function so
 other consumers can run the same scenarios under varied configuration:
 
@@ -445,6 +445,34 @@ def _cluster_scenario(scenario):
     return run
 
 
+def _cluster_replicated_scenario(kill: bool):
+    """The replicated cluster: log shipping, lease, standby — and, with
+    ``kill``, a posted mid-run primary kill driving a full promotion.
+    Pinning both proves the whole failover path (op-log ship/apply,
+    replay, lease renewal) is itself deterministic."""
+
+    def run(config_overrides: dict | None = None, probe: Probe | None = None) -> dict:
+        from repro.cluster.replication import install_primary_kill
+        from repro.cluster.world import build_cluster_world
+
+        world, balancer = build_cluster_world(
+            _config(dict(seed=0, trace=True, ncpus=2), config_overrides),
+            scenario="failover",
+            shards=1,
+            replicas=True,
+        )
+        if kill:
+            install_primary_kill(world, balancer, 0, msec(100))
+        world.run_for(WORLD_RUN)
+        if probe is not None:
+            probe(world.kernel)
+        result = fingerprint(world.kernel)
+        world.shutdown()
+        return result
+
+    return run
+
+
 SCENARIOS: dict[str, Callable[..., dict]] = {
     "cedar-idle": _world_scenario(build_cedar_world, CEDAR_ACTIVITIES, "idle"),
     "cedar-keyboard": _world_scenario(
@@ -467,6 +495,8 @@ SCENARIOS: dict[str, Callable[..., dict]] = {
     "server-overload": _server_scenario("overload"),
     "cluster-steady": _cluster_scenario("steady"),
     "cluster-skewed": _cluster_scenario("skewed"),
+    "cluster-replicated": _cluster_replicated_scenario(kill=False),
+    "cluster-failover": _cluster_replicated_scenario(kill=True),
 }
 
 

@@ -134,8 +134,19 @@ def format_cluster_report(report: dict) -> str:
     seconds = report["duration_us"] / 1_000_000
     health = (
         f"trips {balancer['trips']}, recoveries {balancer['recoveries']}, "
-        f"reroutes {balancer['reroutes']}"
+        f"reroutes {balancer['reroutes']}, "
+        f"lost-inflight {sum(balancer.get('lost_inflight', ()))}"
     )
+    promotions = balancer.get("promotions", 0)
+    if promotions:
+        health += (
+            f", promotions {promotions} "
+            f"(replayed {balancer.get('replayed', 0)}, "
+            f"quarantined {balancer.get('quarantined', 0)})"
+        )
+    lease = balancer.get("lease")
+    if lease is not None and lease.get("takeovers"):
+        health += f", lease takeovers {lease['takeovers']}"
     shard_rows = []
     for sid, stats in enumerate(report["per_shard"]):
         totals = stats["totals"]

@@ -229,6 +229,11 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
     from repro.analysis.chaos import run_sweep, write_report
 
     runs = 4 if args.smoke else args.runs
+    scenarios = None
+    if args.scenario:
+        scenarios = tuple(
+            part.strip() for part in args.scenario.split(",") if part.strip()
+        )
     report = run_sweep(
         seed=args.seed,
         runs=runs,
@@ -238,6 +243,7 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
         # next to the report for ``repro explore --replay``.
         trace_dir=os.path.dirname(os.path.abspath(args.output))
         if args.output else None,
+        scenarios=scenarios,
     )
     summary = report["summary"]
     print(
@@ -410,6 +416,7 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         admission=args.admission,
         admission_capacity=args.capacity,
         duration=msec(args.duration_ms),
+        replicas=args.replicas,
     )
     print(format_cluster_report(report.to_dict()))
     if args.output:
@@ -530,6 +537,10 @@ def main(argv: list[str] | None = None) -> int:
                              help="balancer admission policy (default wfq)")
             sub.add_argument("--capacity", type=int, default=64,
                              help="balancer admission capacity (default 64)")
+            sub.add_argument("--replicas", action="store_true",
+                             help="pair every shard with a log-shipped "
+                                  "replica and arm the balancer lease + "
+                                  "standby")
             sub.add_argument("--duration-ms", type=int, default=2000,
                              help="simulated run length in ms (default 2000)")
             sub.add_argument("--output", default=None,
@@ -554,6 +565,9 @@ def main(argv: list[str] | None = None) -> int:
         if name == "chaos":
             sub.add_argument("--runs", type=int, default=14,
                              help="sampled fault-plan runs (default 14)")
+            sub.add_argument("--scenario", default=None,
+                             help="comma list restricting the directed "
+                                  "scenarios (default: all of them)")
             sub.add_argument("--smoke", action="store_true",
                              help="quick fixed-size sweep for CI")
             sub.add_argument("--skip-golden", action="store_true",

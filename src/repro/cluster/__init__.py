@@ -7,6 +7,13 @@ hash / round robin / power of two choices), per-tenant weighted-fair
 or drop-tail admission with optional token-bucket rate limits, and a
 sleeper-driven shard health breaker that evacuates and re-routes the
 queued work of a wedged shard.
+
+With ``replicas=True`` every shard gets a replica fed by deterministic
+op-log shipping over a kernel channel; a tripped primary is *promoted
+away from* instead of evacuated — the replica replays un-acked work,
+idempotent by rid — and a standby balancer watches a kernel-timer lease
+so the front door itself is no longer a single point of failure (see
+:mod:`repro.cluster.replication` and docs/CLUSTER.md).
 """
 
 from repro.cluster.admission import TokenBucket, WfqQueue
@@ -16,6 +23,15 @@ from repro.cluster.balancer import (
     LoadBalancer,
 )
 from repro.cluster.model import CLUSTER_SCENARIOS, cluster_tenants
+from repro.cluster.replication import (
+    BalancerLease,
+    ReplicationLink,
+    StandbyBalancer,
+    install_balancer_kill,
+    install_primary_kill,
+    live_requests,
+    lost_requests,
+)
 from repro.cluster.world import (
     ClusterReport,
     build_cluster_world,
@@ -28,12 +44,19 @@ __all__ = [
     "ADMISSION_POLICIES",
     "BALANCER_POLICIES",
     "CLUSTER_SCENARIOS",
+    "BalancerLease",
     "ClusterReport",
     "LoadBalancer",
+    "ReplicationLink",
+    "StandbyBalancer",
     "TokenBucket",
     "WfqQueue",
     "build_cluster_world",
     "cluster_tenants",
+    "install_balancer_kill",
+    "install_primary_kill",
+    "live_requests",
+    "lost_requests",
     "merge_cluster_stats",
     "run_cluster",
     "summarize_cluster",

@@ -122,6 +122,7 @@ class WfqQueue:
         weights: dict[str, int],
         *,
         get_timeout: int | None = None,
+        carry: dict | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -149,6 +150,9 @@ class WfqQueue:
         self._size = 0
         self.puts = 0
         self.gets = 0
+        #: Optional custody ledger (see
+        #: :class:`repro.sync.queues.UnboundedQueue`).
+        self.carry = carry
         #: Puts refused because the tenant's sub-queue stayed full.
         self.rejects = 0
         #: Aggregate high-water mark, for SLO diagnostics.
@@ -246,6 +250,8 @@ class WfqQueue:
                 if not notified and self._size == 0:
                     return None
             item = self._dequeue()
+            if self.carry is not None:
+                self.carry[item.rid] = item
             # Putters wait on their own sub-queue's occupancy; broadcast
             # keeps the Mesa WHILE loops honest without per-tenant CVs.
             yield Notify(self.nonfull)

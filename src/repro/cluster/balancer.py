@@ -87,6 +87,12 @@ PROBE_STRIKES = 2
 MAX_REROUTES = 2
 REROUTE_BACKOFF = msec(20)
 
+#: Consecutive progress observations a tripped shard must string
+#: together before the breaker closes.  One completion is not health: a
+#: wedged shard draining a single slow request used to flap healthy,
+#: re-attract a window of traffic, and strand it all over again.
+RECOVERY_CLEAN_TICKS = 3
+
 #: Same priority bands as the server: ingress above the pool, the
 #: sleeper in between, everything >= 4 for the starvation monitor.
 PRIO_FRONT = 6
@@ -110,6 +116,8 @@ class LoadBalancer:
         admission_policy: str = "wfq",
         admission_capacity: int = 64,
         name: str = "lb",
+        links: tuple | None = None,
+        lease: Any = None,
     ) -> None:
         if not shards:
             raise ValueError("need at least one shard")
@@ -117,9 +125,17 @@ class LoadBalancer:
             raise ValueError(f"unknown balancer policy {policy!r}")
         if admission_policy not in ADMISSION_POLICIES:
             raise ValueError(f"unknown admission policy {admission_policy!r}")
+        if links is not None and len(links) != len(shards):
+            raise ValueError("need one replication link per shard")
         self.world = world
         self.kernel = world.kernel
-        self.shards = shards
+        #: Mutable on purpose: promotion swaps a slot's server in place.
+        self.shards = list(shards)
+        #: Per-shard replication links (None without ``--replicas``) and
+        #: the balancer-role lease the health sleeper renews.
+        self.links = links
+        self.lease = lease
+        self.standby: Any = None
         self.tenants = {t.name: t for t in tenants}
         self.policy = policy
         self.admission_policy = admission_policy
@@ -127,17 +143,35 @@ class LoadBalancer:
         self.stats = ServerStats()
         self.poll = self.kernel.config.quantum
 
+        #: Per-stage custody ledgers: each records the request a pipeline
+        #: thread is holding between its get and its put (the listener
+        #: between channel and ingress, the admit thread between ingress
+        #: and admission, the dispatcher between admission and a shard).
+        #: One ledger per stage — a shared dict would let one stage's
+        #: cleanup erase another's entry for the same rid.  Transient in
+        #: normal operation; after a balancer partition they hold exactly
+        #: what the dead threads took down, which the standby re-injects
+        #: at takeover.
+        self.carry_ledgers: dict[str, dict[str, Request]] = {
+            "net": {},
+            "ingress": {},
+            "admission": {},
+        }
         self.net = world.add_device(f"{name}.net")
-        self.ingress = UnboundedQueue(f"{name}.ingress")
+        self.ingress = UnboundedQueue(
+            f"{name}.ingress", carry=self.carry_ledgers["ingress"]
+        )
         if admission_policy == "wfq":
             self.admission: Any = WfqQueue(
                 f"{name}.admission",
                 max(1, admission_capacity // max(1, len(tenants))),
                 {t.name: t.weight for t in tenants},
+                carry=self.carry_ledgers["admission"],
             )
         else:
             self.admission = BoundedQueue(
-                f"{name}.admission", admission_capacity
+                f"{name}.admission", admission_capacity,
+                carry=self.carry_ledgers["admission"],
             )
         #: Per-tenant token buckets; only tenants with a configured rate
         #: limit get one (0 disables).
@@ -164,13 +198,41 @@ class LoadBalancer:
         self.dispatched = [0] * nshards
         #: Requests pruned back out of a tripped shard's queues.
         self.rerouted_away = [0] * nshards
+        #: Per-shard retransmit buffer: every dispatched request, keyed
+        #: by rid, until the shard's outcome hook releases it.  On
+        #: promotion this is the authoritative replay set, cross-checked
+        #: against the replica's acked log.
+        self.outstanding: list[dict[str, Request]] = [
+            {} for _ in range(nshards)
+        ]
+        #: Requests parked in detached retry/reroute one-shots — custody
+        #: no queue scan can see (see repro.cluster.replication).
+        self.limbo: dict[str, Request] = {}
         self._strikes = [0] * nshards
+        self._clean = [0] * nshards
         self._last_done = [0] * nshards
         self._rr = 0
         #: Breaker events, for reports and the chaos invariants.
         self.trips = 0
         self.recoveries = 0
         self.reroutes = 0
+        #: Dispatched requests a tripped shard took down with it — work
+        #: the cluster acknowledged and then lost.  Replication exists
+        #: to hold this at zero; without a replica it is the observable
+        #: cost of the old silent-drop evacuation.
+        self.lost_inflight = [0] * nshards
+        #: Replication events: replica promotions, un-acked requests
+        #: re-executed on promotion, and un-acked requests terminally
+        #: failed because no replica remained to replay them into.
+        self.promotions = 0
+        self.replayed = 0
+        self.quarantined = 0
+        self.promoted_at: list[int] = []
+        #: Demoted primaries, kept so merged cluster stats stay
+        #: conservation-complete after a promotion.
+        self.retired: list[RpcServer] = []
+        #: Threads forked by :meth:`start` (fault injection targets).
+        self.threads: list[Any] = []
 
         #: Credit wakeup: every shard terminal outcome (complete, shed,
         #: fail) notifies here, so the dispatcher blocks *on an event*
@@ -179,14 +241,18 @@ class LoadBalancer:
         #: granularity) and cap throughput at one window per quantum.
         self.credit_mon = Monitor(f"{name}.credit")
         self.credit_cv = ConditionVariable(self.credit_mon, f"{name}.credit.cv")
-        for shard in shards:
-            shard.on_outcome = self._credit_hook
+        for sid, shard in enumerate(self.shards):
+            shard.on_outcome = self._make_credit_hook(sid)
+        for link in links or ():
+            # Replicas release the same slot's credit once promoted.
+            link.replica.on_outcome = self._make_credit_hook(link.sid)
 
         self.listener = Pump(
             f"{name}.listener",
             self.net,
             self.ingress,
             cost_per_item=usec(10),
+            carry=self.carry_ledgers["net"],
         )
         self.health = Sleeper(
             f"{name}.health", 2 * self.poll, self._probe, work_cost=usec(30)
@@ -196,20 +262,21 @@ class LoadBalancer:
 
     def start(self) -> None:
         """Fork the balancer's thread population (shards start themselves)."""
-        self.world.add_eternal(
+        add = self.threads.append
+        add(self.world.add_eternal(
             self.listener.proc, name=self.listener.name, priority=PRIO_FRONT
-        )
-        self.world.add_eternal(
+        ))
+        add(self.world.add_eternal(
             self._admit_proc, name=f"{self.name}.admit", priority=PRIO_FRONT
-        )
-        self.world.add_eternal(
+        ))
+        add(self.world.add_eternal(
             self._dispatch_proc,
             name=f"{self.name}.dispatch",
             priority=PRIO_FRONT,
-        )
-        self.world.add_eternal(
+        ))
+        add(self.world.add_eternal(
             self.health.proc, name=self.health.name, priority=PRIO_SLEEPER
-        )
+        ))
 
     # -- the frontend protocol ---------------------------------------------
 
@@ -272,7 +339,9 @@ class LoadBalancer:
             ok = yield from self.admission.put(
                 req, timeout=tenant.admission_timeout
             )
-            if not ok:
+            if ok:
+                self.carry_ledgers["ingress"].pop(req.rid, None)
+            else:
                 yield from self._shed(req)
 
     def _dispatch_proc(self):
@@ -296,15 +365,23 @@ class LoadBalancer:
                 finally:
                     yield Exit(self.credit_mon)
             self.dispatched[sid] += 1
+            self.outstanding[sid][req.rid] = req
             yield from self.shards[sid].ingress.put(req)
+            self.carry_ledgers["admission"].pop(req.rid, None)
 
-    def _credit_hook(self):
-        """Installed as every shard's ``on_outcome``: wake the dispatcher."""
-        yield Enter(self.credit_mon)
-        try:
-            yield Notify(self.credit_cv)
-        finally:
-            yield Exit(self.credit_mon)
+    def _make_credit_hook(self, sid: int):
+        """Build a shard's ``on_outcome``: release the retransmit-buffer
+        slot, wake the dispatcher (a credit just freed)."""
+
+        def hook(req: Request):
+            self.outstanding[sid].pop(req.rid, None)
+            yield Enter(self.credit_mon)
+            try:
+                yield Notify(self.credit_cv)
+            finally:
+                yield Exit(self.credit_mon)
+
+        return hook
 
     def _pick_shard(self, req: Request) -> int | None:
         eligible = [
@@ -343,6 +420,8 @@ class LoadBalancer:
         sleeper), so cluster-level queueing honours the same deadlines.
         """
         now = yield GetTime()
+        if self.lease is not None:
+            self.lease.renew(now)
         self.stats.depth_samples.append(
             (now, len(self.admission), self.stats.total("shed"))
         )
@@ -352,11 +431,18 @@ class LoadBalancer:
                 self._last_done[sid] = done
                 self._strikes[sid] = 0
                 if not self.healthy[sid]:
-                    # Progress is the only way back in.
-                    self.healthy[sid] = True
-                    self.recoveries += 1
+                    # Progress is the only way back in — but one
+                    # completion is not progress, it's a drip.  The
+                    # breaker closes only after a clean-strike window of
+                    # consecutive advancing ticks.
+                    self._clean[sid] += 1
+                    if self._clean[sid] >= RECOVERY_CLEAN_TICKS:
+                        self.healthy[sid] = True
+                        self.recoveries += 1
+                        self._clean[sid] = 0
                 continue
             if not self.healthy[sid]:
+                self._clean[sid] = 0  # stalled again: the window restarts
                 continue
             if self.shard_depth(sid) == 0 and self.inflight(sid) == 0:
                 self._strikes[sid] = 0  # idle, not wedged
@@ -364,31 +450,92 @@ class LoadBalancer:
             self._strikes[sid] += 1
             if self._strikes[sid] >= PROBE_STRIKES:
                 self.healthy[sid] = False
+                self._clean[sid] = 0
                 self.trips += 1
-                yield from self._evacuate(sid)
+                link = self.links[sid] if self.links is not None else None
+                if link is not None and not link.promoted:
+                    yield from self._promote(sid)
+                else:
+                    yield from self._evacuate(sid)
         cut = lambda r: r.expires_at <= now and r.status == PENDING
         expired = yield from self.admission.prune(cut)
         for req in expired:
             yield from self._expire(req)
 
+    def _promote(self, sid: int):
+        """Fail over a tripped primary to its replica.
+
+        The replica takes the slot; un-acked outstanding requests — sent
+        to the primary, no terminal record shipped back — are replayed
+        into it, idempotent by rid (anything the replica's log already
+        acked is skipped, so a completion whose record was in flight at
+        the cut never runs twice).  The demoted primary is retired but
+        keeps its stats, so merged cluster counters stay whole.
+        """
+        link = self.links[sid]
+        link.promoted = True
+        old = self.shards[sid]
+        old.on_oplog = None  # fence: the demoted primary stops shipping
+        self.retired.append(old)
+        self.shards[sid] = link.replica
+        now = yield GetTime()
+        self.promotions += 1
+        self.promoted_at.append(now)
+        replay = [
+            req
+            for req in self.outstanding[sid].values()
+            if not link.is_acked(req.rid) and req.status == PENDING
+        ]
+        # Reset the slot's ledgers to the replica's ground state; the
+        # replay below re-enters each request through normal dispatch
+        # accounting.
+        self.outstanding[sid] = {}
+        self.dispatched[sid] = 0
+        self.rerouted_away[sid] = 0
+        self._last_done[sid] = self.shard_done(sid)
+        self._strikes[sid] = 0
+        self._clean[sid] = 0
+        self.healthy[sid] = True
+        for req in replay:
+            req.renew(now)
+            req.replays += 1
+            self.replayed += 1
+            self.dispatched[sid] += 1
+            self.outstanding[sid][req.rid] = req
+            yield from self.shards[sid].ingress.put(req)
+
     def _evacuate(self, sid: int):
-        """Pull queued work off a tripped shard and re-dispatch it."""
+        """Pull queued work off a tripped shard and re-dispatch it.
+
+        Only *queued* (PENDING, still in a scannable queue) requests can
+        be pruned back out.  What remains charged to the slot afterwards
+        was in a worker's or the batcher's hands when the shard wedged:
+        with a replica that work fails over via :meth:`_promote`; with
+        none it is either quarantined (failed loudly, replicated mode)
+        or — the original bug — silently lost, now at least counted in
+        ``lost_inflight``.
+        """
         shard = self.shards[sid]
         queued = lambda r: r.status == PENDING
         moved = yield from shard.ingress.prune(queued)
         moved += yield from shard.admission.prune(queued)
         for queue in shard.serial_queues.values():
             moved += yield from queue.prune(queued)
+        moved += yield from shard.batch_queue.prune(queued)
         for req in moved:
+            self.outstanding[sid].pop(req.rid, None)
             self.rerouted_away[sid] += 1
             req.reroutes += 1
             if req.reroutes > MAX_REROUTES:
                 yield from self._fail(req)
                 continue
             self.reroutes += 1
-            self.stats.bump(req.tenant.name, "retries")
+            # "rerouted", not "retries": a reroute is the cluster's doing
+            # and must not be conflated with the tenant's retry spend.
+            self.stats.bump(req.tenant.name, "rerouted")
             delay = REROUTE_BACKOFF * req.reroutes
             delay += self.retry_rng.randint(0, REROUTE_BACKOFF)
+            self.limbo[req.rid] = req
             yield Fork(
                 self._reroute_proc,
                 (req, delay),
@@ -396,19 +543,53 @@ class LoadBalancer:
                 priority=PRIO_SLEEPER,
                 detached=True,
             )
+        if self.links is not None:
+            # Replicated cluster, but this slot has no replica left to
+            # promote: quarantine the stranded work instead of dropping
+            # it — the client hears FAILED, nothing vanishes.
+            stranded = [
+                req
+                for req in self.outstanding[sid].values()
+                if req.status == PENDING
+            ]
+            for req in stranded:
+                self.outstanding[sid].pop(req.rid, None)
+                self.rerouted_away[sid] += 1  # release the slot's credit
+                self.quarantined += 1
+                yield from self._fail(req)
+        else:
+            self.lost_inflight[sid] += self.inflight(sid)
 
     def _reroute_proc(self, req: Request, delay: int):
-        """One-shot: back off, rearm the deadline, rejoin at the front."""
+        """One-shot: back off, renew the deadline, rejoin at the front.
+
+        ``renew``, not ``rearm``: a reroute is the cluster's fault, so it
+        must not charge the tenant's retry budget (rearm's ``attempt``
+        bump used to let ``_expire`` fail a twice-rerouted request that
+        had never actually timed out).
+        """
+        yield Pause(delay)
+        now = yield GetTime()
+        req.renew(now)
+        yield from self.ingress.put(req)
+        self.limbo.pop(req.rid, None)
+
+    def _retry_proc(self, req: Request, delay: int):
+        """One-shot: back off, rearm (a real retry — budget charged),
+        rejoin at the front."""
         yield Pause(delay)
         now = yield GetTime()
         req.rearm(now)
         yield from self.ingress.put(req)
+        self.limbo.pop(req.rid, None)
 
     # -- outcomes ----------------------------------------------------------
 
     def _shed(self, req: Request):
         """Cluster admission refused (bucket dry or queue full)."""
         req.status = SHED
+        for ledger in self.carry_ledgers.values():
+            ledger.pop(req.rid, None)
         self.stats.bump(req.tenant.name, "shed")
         if req.reply_to is not None:
             yield from req.reply_to.put((SHED, req))
@@ -416,6 +597,8 @@ class LoadBalancer:
     def _fail(self, req: Request):
         """Reroute budget exhausted: the cluster gives up on it."""
         req.status = FAILED
+        for ledger in self.carry_ledgers.values():
+            ledger.pop(req.rid, None)
         self.stats.bump(req.tenant.name, "failed")
         if req.reply_to is not None:
             yield from req.reply_to.put((FAILED, req))
@@ -428,8 +611,9 @@ class LoadBalancer:
             self.stats.bump(tenant.name, "retries")
             delay = tenant.backoff * (2 ** req.attempt)
             delay += self.retry_rng.randint(0, tenant.backoff)
+            self.limbo[req.rid] = req
             yield Fork(
-                self._reroute_proc,
+                self._retry_proc,
                 (req, delay),
                 name=f"{self.name}.retry.{req.rid}.{req.attempt}",
                 priority=PRIO_SLEEPER,

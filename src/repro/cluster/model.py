@@ -26,7 +26,7 @@ from __future__ import annotations
 from repro.kernel.simtime import msec, usec
 from repro.server.model import TenantSpec
 
-CLUSTER_SCENARIOS = ("steady", "skewed")
+CLUSTER_SCENARIOS = ("steady", "skewed", "failover")
 
 
 def cluster_tenants(scenario: str) -> tuple[TenantSpec, ...]:
@@ -101,6 +101,32 @@ def cluster_tenants(scenario: str) -> tuple[TenantSpec, ...]:
                 deadline=msec(400),
                 rate_limit_per_sec=200.0,
                 burst=32,
+                weight=1,
+            ),
+            *base,
+        )
+    if scenario == "failover":
+        # A lighter steady mix, sized so the cluster rides through a
+        # shard loss: the surviving machines (replica included) can
+        # absorb the whole offered load while a promotion is in flight.
+        return (
+            TenantSpec(
+                name="api",
+                mode="open",
+                rate_per_sec=1200.0,
+                cost=usec(600),
+                deadline=msec(400),
+                weight=2,
+            ),
+            TenantSpec(
+                name="writes",
+                mode="open",
+                rate_per_sec=150.0,
+                cost=usec(250),
+                deadline=msec(600),
+                writes=True,
+                write_keys=6,
+                max_retries=1,
                 weight=1,
             ),
             *base,

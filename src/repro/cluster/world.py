@@ -28,6 +28,12 @@ from typing import Any
 
 from repro.cluster.balancer import LoadBalancer
 from repro.cluster.model import cluster_tenants
+from repro.cluster.replication import (
+    LEASE_TTL_POLLS,
+    BalancerLease,
+    ReplicationLink,
+    StandbyBalancer,
+)
 from repro.kernel.config import KernelConfig
 from repro.kernel.simtime import sec
 from repro.runtime.pcr import World
@@ -63,6 +69,8 @@ class ClusterReport:
     balancer: dict = field(default_factory=dict)
     #: Per-shard ``ServerStats.to_dict()`` snapshots, in shard order.
     per_shard: list = field(default_factory=list)
+    #: Demoted primaries' snapshots (non-empty only after a promotion).
+    retired: list = field(default_factory=list)
     digest: str = ""
 
     @property
@@ -105,6 +113,7 @@ class ClusterReport:
             "merged": self.merged,
             "balancer": self.balancer,
             "per_shard": self.per_shard,
+            "retired": self.retired,
         }
 
 
@@ -122,7 +131,17 @@ def merge_cluster_stats(
     tenant_latency: dict[str, LatencyHistogram] = {}
     counters: dict[str, dict[str, int]] = {}
     batches = 0
-    for stats in (balancer.stats, *(s.stats for s in shards)):
+    sources = [balancer.stats]
+    sources += [s.stats for s in shards]
+    # After a promotion the demoted primary leaves the routing table but
+    # its counters must not leave the books; un-promoted replicas are
+    # normally all-zero but are folded in for the same conservation
+    # argument.
+    sources += [s.stats for s in getattr(balancer, "retired", ())]
+    for link in getattr(balancer, "links", None) or ():
+        if not link.promoted:
+            sources.append(link.replica.stats)
+    for stats in sources:
         latency.merge(stats.latency)
         for name, hist in stats.tenant_latency.items():
             tenant_latency.setdefault(name, LatencyHistogram()).merge(hist)
@@ -163,8 +182,19 @@ def build_cluster_world(
     admission: str = "wfq",
     admission_capacity: int = DEFAULT_ADMISSION_CAPACITY,
     tenants: tuple[TenantSpec, ...] | None = None,
+    replicas: bool = False,
+    standby: bool | None = None,
 ) -> tuple[World, LoadBalancer]:
-    """Build the cluster: shards started, balancer fronted, traffic on."""
+    """Build the cluster: shards started, balancer fronted, traffic on.
+
+    ``replicas=True`` pairs every shard with a replica fed by a
+    log-shipping :class:`~repro.cluster.replication.ReplicationLink` and
+    arms the balancer lease; ``standby`` (defaults to ``replicas``)
+    additionally parks a
+    :class:`~repro.cluster.replication.StandbyBalancer` on the lease.
+    With both off, the construction sequence is byte-identical to the
+    pre-replication cluster — the pinned golden schedules depend on it.
+    """
     if shards < 1:
         raise ValueError("shards must be >= 1")
     world = World(config)
@@ -180,6 +210,23 @@ def build_cluster_world(
     )
     for shard in pool:
         shard.start()
+    links: tuple[ReplicationLink, ...] | None = None
+    if replicas:
+        built = []
+        for sid, primary in enumerate(pool):
+            replica = RpcServer(
+                world,
+                mix,
+                workers=workers_per_shard,
+                name=f"shard{sid}r",
+            )
+            replica.start()
+            built.append(ReplicationLink(world, primary, replica, sid))
+        links = tuple(built)
+    use_standby = replicas if standby is None else standby
+    lease = None
+    if replicas or use_standby:
+        lease = BalancerLease(LEASE_TTL_POLLS * world.kernel.config.quantum)
     balancer = LoadBalancer(
         world,
         pool,
@@ -187,8 +234,15 @@ def build_cluster_world(
         policy=policy,
         admission_policy=admission,
         admission_capacity=admission_capacity,
+        links=links,
+        lease=lease,
     )
+    for link in links or ():
+        link.install()
     balancer.start()
+    if use_standby:
+        balancer.standby = StandbyBalancer(world, balancer, lease)
+        balancer.standby.start()
     for tenant in mix:
         if tenant.mode == "open":
             install_open_loop(balancer, tenant)
@@ -218,12 +272,33 @@ def summarize_cluster(
         "trips": balancer.trips,
         "recoveries": balancer.recoveries,
         "reroutes": balancer.reroutes,
+        "lost_inflight": list(balancer.lost_inflight),
+        "promotions": balancer.promotions,
+        "replayed": balancer.replayed,
+        "quarantined": balancer.quarantined,
+        "promoted_at": list(balancer.promoted_at),
         "throttled": {
             name: bucket.throttled
             for name, bucket in sorted(balancer.buckets.items())
         },
     }
+    if balancer.links is not None:
+        balancer_view["replication"] = [
+            {
+                "shard": link.sid,
+                "shipped": link.shipped,
+                "applied": link.applied,
+                "acked": len(link.acked),
+                "promoted": link.promoted,
+            }
+            for link in balancer.links
+        ]
+    if balancer.lease is not None:
+        balancer_view["lease"] = balancer.lease.to_dict()
+    if balancer.standby is not None:
+        balancer_view["standby"] = balancer.standby.to_dict()
     per_shard = [shard.stats.to_dict() for shard in shards]
+    retired = [server.stats.to_dict() for server in balancer.retired]
     report = ClusterReport(
         scenario=scenario,
         seed=seed,
@@ -235,11 +310,13 @@ def summarize_cluster(
         merged=merged,
         balancer=balancer_view,
         per_shard=per_shard,
+        retired=retired,
     )
     canonical = {
         "merged": merged,
         "balancer": balancer_view,
         "per_shard": per_shard,
+        "retired": retired,
     }
     report.digest = hashlib.sha256(
         json.dumps(canonical, sort_keys=True).encode()
@@ -261,14 +338,19 @@ def run_cluster(
     config_overrides: dict | None = None,
     raise_on_deadlock: bool = True,
     keep_world: bool = False,
+    replicas: bool = False,
+    standby: bool | None = None,
 ) -> ClusterReport | tuple[ClusterReport, World, LoadBalancer]:
     """Run one cluster experiment and fold it into a report.
 
-    ``ncpus`` defaults to ``shards`` (each shard is its own machine);
+    ``ncpus`` defaults to ``shards`` (each shard is its own machine; a
+    replicated cluster gets one more per replica machine);
     ``keep_world`` hands back the live world and balancer (caller owns
     shutdown) for tests that inspect queues and health state directly.
     """
-    base = dict(seed=seed, ncpus=shards if ncpus is None else ncpus)
+    if ncpus is None:
+        ncpus = shards * 2 if replicas else shards
+    base = dict(seed=seed, ncpus=ncpus)
     if config_overrides:
         base.update(config_overrides)
     config = KernelConfig(**base)
@@ -280,6 +362,8 @@ def run_cluster(
         policy=policy,
         admission=admission,
         admission_capacity=admission_capacity,
+        replicas=replicas,
+        standby=standby,
     )
     world.run_for(duration, raise_on_deadlock=raise_on_deadlock)
     report = summarize_cluster(

@@ -929,6 +929,14 @@ class Kernel:
             )
         if self.race_detector is not None:
             self.race_detector.on_channel_post(channel)
+        # A waiter with a pending kill will unwind at resume, not
+        # receive: handing it the item would drop the item on the floor.
+        # Skip doomed waiters — resumed empty-handed to die, while the
+        # item goes to a live receiver (or the buffer).
+        while channel.waiters and channel.waiters[0].pending_throw is not None:
+            doomed = channel.waiters.popleft()
+            doomed.wait_epoch += 1
+            self.scheduler.make_ready(doomed)
         if channel.waiters:
             waiter = channel.waiters.popleft()
             waiter.wait_epoch += 1  # invalidate any receive timeout
@@ -1352,17 +1360,23 @@ class Kernel:
         thread.resume_action = ("reacquire", cv.monitor, False)
         self.scheduler.make_ready(thread)
 
-    def _inject_kill(self, thread: SimThread) -> None:
+    def _inject_kill(self, thread: SimThread, *, note: bool = True) -> None:
         """Fault injection: kill a thread at its next trap boundary.
 
         Delivered via ``pending_throw``, so the generator unwinds through
         its ``finally`` clauses — monitors are released like any other
         exception exit, and ``_finish_error`` still enforces that.
+
+        ``note=False`` for *scripted* kills (directed chaos strikes):
+        they are part of the scenario, not an injected fault, and must
+        not perturb fault accounting or the trace merely because a
+        (possibly zero-rate) fault plan happens to be installed.
         """
         thread.pending_throw = ThreadKilled(
             f"fault injection killed {thread.name!r} at {self.now}us"
         )
-        self.faults.note("kill", thread.name)
+        if note and self.faults is not None:
+            self.faults.note("kill", thread.name)
 
     def _deliver_cv_wake(self, cv: Any, waiter: SimThread) -> None:
         """Wake a thread already removed from ``cv.waiters``."""

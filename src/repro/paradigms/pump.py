@@ -64,6 +64,7 @@ class Pump:
         *,
         transform: Callable[[Any], Any] | None = None,
         cost_per_item: int = usec(50),
+        carry: dict | None = None,
     ) -> None:
         self.name = name
         self.source = source
@@ -71,22 +72,33 @@ class Pump:
         self.transform = transform
         self.cost_per_item = cost_per_item
         self.items_pumped = 0
+        #: Optional custody ledger, keyed by ``item.rid``: records each
+        #: item the instant it leaves the source, cleared once the sink
+        #: holds it — so a pump killed mid-transfer leaves an audit
+        #: trail instead of a silent loss.  None costs nothing.
+        self.carry = carry
 
     def proc(self):
         """The pump's thread body."""
         while True:
             item = yield from read_endpoint(self.source)
+            if self.carry is not None:
+                self.carry[item.rid] = item
             if self.cost_per_item:
                 yield Compute(self.cost_per_item)
             output = item if self.transform is None else self.transform(item)
             self.items_pumped += 1
             if output is None:
+                if self.carry is not None:
+                    self.carry.pop(item.rid, None)
                 continue
             if isinstance(output, list):
                 for produced in output:
                     yield from write_endpoint(self.sink, produced)
             else:
                 yield from write_endpoint(self.sink, output)
+            if self.carry is not None:
+                self.carry.pop(item.rid, None)
 
 
 def connect_pipeline(

@@ -75,7 +75,7 @@ class Request:
     __slots__ = (
         "rid", "tenant", "submitted", "intended", "expires_at", "cost",
         "attempt", "key", "reply_to", "started_at", "completed_at",
-        "status", "reroutes",
+        "status", "reroutes", "replays",
     )
 
     def __init__(
@@ -110,10 +110,23 @@ class Request:
         #: Times a balancer pulled this request off a wedged shard and
         #: re-dispatched it (bounded; see repro.cluster.balancer).
         self.reroutes = 0
+        #: Times a replica re-executed this request after a promotion
+        #: (idempotent by rid; see repro.cluster.replication).
+        self.replays = 0
 
     def rearm(self, now: int) -> None:
         """Start a fresh attempt: new per-attempt deadline."""
         self.attempt += 1
+        self.expires_at = now + self.tenant.deadline
+        self.status = PENDING
+
+    def renew(self, now: int) -> None:
+        """Fresh deadline *without* charging the retry budget.
+
+        Reroutes and replica replays are the cluster's fault, not the
+        request's: the tenant's ``max_retries`` envelope must not shrink
+        because a shard wedged under it.
+        """
         self.expires_at = now + self.tenant.deadline
         self.status = PENDING
 
@@ -173,7 +186,8 @@ class ServerStats:
     #: The counter kinds every tenant row carries, in report order.
     KINDS = (
         "offered", "admitted", "shed", "completed", "coalesced",
-        "timeouts", "retries", "failed", "client_retries", "give_ups",
+        "timeouts", "retries", "rerouted", "failed", "client_retries",
+        "give_ups",
     )
 
     def __init__(self) -> None:

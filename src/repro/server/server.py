@@ -125,10 +125,21 @@ class RpcServer:
         #: Requests merged away by the batcher, drained per delivery.
         self._superseded: list[Request] = []
         #: Optional generator-function hook run after every terminal
-        #: outcome (complete/shed/fail).  The cluster balancer installs
-        #: its credit-release notification here; None costs nothing and
-        #: leaves the single-server schedule untouched.
+        #: outcome (complete/shed/fail), passed the request.  The cluster
+        #: balancer installs its credit-release notification here; None
+        #: costs nothing and leaves the single-server schedule untouched.
         self.on_outcome: Any = None
+        #: Optional generator-function hook ``(kind, req)`` shipping op-log
+        #: records ("admit" / "dispatch" / "complete") to a replica — see
+        #: :mod:`repro.cluster.replication`.  None costs nothing.
+        self.on_oplog: Any = None
+        #: Requests currently in a worker/serializer/batcher's hands or
+        #: parked in a retry one-shot — custody that no queue scan can
+        #: see.  Keyed by rid; terminal outcomes remove.  Pure-dict
+        #: bookkeeping: never yields, never perturbs schedules.
+        self.executing: dict[str, Request] = {}
+        #: Threads forked by :meth:`start` (fault injection targets).
+        self.threads: list[Any] = []
 
         #: Derived RNG streams: request jitter and retry backoff jitter
         #: are forked per concern so neither perturbs arrival sequences.
@@ -160,32 +171,33 @@ class RpcServer:
 
     def start(self) -> None:
         """Fork the server's thread population."""
-        self.world.add_eternal(
+        add = self.threads.append
+        add(self.world.add_eternal(
             self.listener.proc, name=self.listener.name, priority=PRIO_LISTENER
-        )
-        self.world.add_eternal(
+        ))
+        add(self.world.add_eternal(
             self._router_proc, name=f"{self.name}.router", priority=PRIO_ROUTER
-        )
-        self.world.add_eternal(
+        ))
+        add(self.world.add_eternal(
             self.sweeper.proc, name=self.sweeper.name, priority=PRIO_SLEEPER
-        )
+        ))
         for wid in range(self.workers):
-            self.world.add_eternal(
+            add(self.world.add_eternal(
                 self._worker_proc,
                 (wid,),
                 name=f"{self.name}.worker.{wid}",
                 priority=PRIO_POOL,
-            )
+            ))
         for name in self.serial_queues:
-            self.world.add_eternal(
+            add(self.world.add_eternal(
                 self._serializer_proc,
                 (name,),
                 name=f"{self.name}.serial.{name}",
                 priority=PRIO_POOL,
-            )
-        self.world.add_eternal(
+            ))
+        add(self.world.add_eternal(
             self.batcher.proc, name=self.batcher.name, priority=PRIO_POOL
-        )
+        ))
 
     # -- request fabrication ----------------------------------------------
 
@@ -220,6 +232,8 @@ class RpcServer:
                 )
             if ok:
                 self.stats.bump(tenant.name, "admitted")
+                if self.on_oplog is not None:
+                    yield from self.on_oplog("admit", req)
             else:
                 yield from self._shed(req)
 
@@ -244,10 +258,13 @@ class RpcServer:
 
     def _dispatch(self, req: Request):
         """Run one admitted request on the calling thread."""
+        self.executing[req.rid] = req
         now = yield GetTime()
         if now >= req.expires_at:
             yield from self._expire(req)
             return
+        if self.on_oplog is not None:
+            yield from self.on_oplog("dispatch", req)
         if req.tenant.writes:
             # Write-behind: hand to the batcher rather than paying the
             # full per-request cost here.
@@ -297,24 +314,30 @@ class RpcServer:
         now = yield GetTime()
         req.completed_at = now
         req.status = DONE
+        self.executing.pop(req.rid, None)
         self.stats.bump(req.tenant.name, "completed")
         # Latency runs from the *intended* send time (== submitted unless
         # a CO-aware client carried an earlier intent through resubmits).
         self.stats.note_latency(req.tenant.name, now - req.intended)
         if req.reply_to is not None:
             yield from req.reply_to.put((DONE, req))
+        if self.on_oplog is not None:
+            yield from self.on_oplog("complete", req)
         if self.on_outcome is not None:
-            yield from self.on_outcome()
+            yield from self.on_outcome(req)
 
     def _shed(self, req: Request):
         """Admission refused: final for open-loop, a retryable verdict
         for closed-loop clients."""
         req.status = SHED
+        self.executing.pop(req.rid, None)
         self.stats.bump(req.tenant.name, "shed")
         if req.reply_to is not None:
             yield from req.reply_to.put((SHED, req))
+        if self.on_oplog is not None:
+            yield from self.on_oplog("complete", req)
         if self.on_outcome is not None:
-            yield from self.on_outcome()
+            yield from self.on_outcome(req)
 
     def _expire(self, req: Request):
         """Deadline passed before service: retry with jittered backoff
@@ -323,6 +346,7 @@ class RpcServer:
         self.stats.bump(tenant.name, "timeouts")
         if req.attempt < tenant.max_retries:
             self.stats.bump(tenant.name, "retries")
+            self.executing[req.rid] = req
             delay = tenant.backoff * (2 ** req.attempt)
             delay += self.retry_rng.randint(0, tenant.backoff)
             yield Fork(
@@ -334,11 +358,14 @@ class RpcServer:
             )
         else:
             req.status = FAILED
+            self.executing.pop(req.rid, None)
             self.stats.bump(tenant.name, "failed")
             if req.reply_to is not None:
                 yield from req.reply_to.put((FAILED, req))
+            if self.on_oplog is not None:
+                yield from self.on_oplog("complete", req)
             if self.on_outcome is not None:
-                yield from self.on_outcome()
+                yield from self.on_outcome(req)
 
     def _retry_proc(self, req: Request, delay: int):
         """One-shot: sleep out the backoff, then resubmit via ingress."""

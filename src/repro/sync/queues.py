@@ -26,7 +26,13 @@ class UnboundedQueue:
     NOTIFY, one or more consumer threads drain.
     """
 
-    def __init__(self, name: str, *, get_timeout: int | None = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        *,
+        get_timeout: int | None = None,
+        carry: dict | None = None,
+    ) -> None:
         self.name = name
         self.monitor = Monitor(f"{name}.lock")
         self.nonempty = ConditionVariable(
@@ -35,6 +41,13 @@ class UnboundedQueue:
         self.items: deque[Any] = deque()
         self.puts = 0
         self.gets = 0
+        #: Optional custody ledger: ``get`` records the popped item here
+        #: (keyed by ``item.rid``) *before* releasing the monitor, so a
+        #: consumer killed on the Exit trap — item popped, never
+        #: returned — leaves an audit trail instead of a silent loss.
+        #: The consumer removes the entry once the item is safely held
+        #: elsewhere.  None (the default) costs nothing.
+        self.carry = carry
 
     def put(self, item: Any):
         """Enqueue and wake one consumer.  (Generator; use ``yield from``.)"""
@@ -59,7 +72,10 @@ class UnboundedQueue:
                 if not notified and not self.items:
                     return None
             self.gets += 1
-            return self.items.popleft()
+            item = self.items.popleft()
+            if self.carry is not None:
+                self.carry[item.rid] = item
+            return item
         finally:
             yield Exit(self.monitor)
 
@@ -113,6 +129,7 @@ class BoundedQueue:
         capacity: int,
         *,
         get_timeout: int | None = None,
+        carry: dict | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -126,6 +143,8 @@ class BoundedQueue:
         self.items: deque[Any] = deque()
         self.puts = 0
         self.gets = 0
+        #: Optional custody ledger (see :class:`UnboundedQueue`).
+        self.carry = carry
         #: Puts refused because the queue stayed full (load shed upstream).
         self.rejects = 0
         #: High-water mark, for SLO diagnostics.
@@ -178,6 +197,8 @@ class BoundedQueue:
                     return None
             item = self.items.popleft()
             self.gets += 1
+            if self.carry is not None:
+                self.carry[item.rid] = item
             yield Notify(self.nonfull)
             return item
         finally:
@@ -224,6 +245,8 @@ class BoundedBuffer:
         self.items: deque[Any] = deque()
         self.puts = 0
         self.gets = 0
+        #: Custody ledger hook (unused here; see :class:`UnboundedQueue`).
+        self.carry: dict | None = None
         #: High-water mark, for pipeline diagnostics.
         self.max_depth = 0
 
@@ -246,6 +269,8 @@ class BoundedBuffer:
                 yield Wait(self.nonempty)
             item = self.items.popleft()
             self.gets += 1
+            if self.carry is not None:
+                self.carry[item.rid] = item
             yield Notify(self.nonfull)
             return item
         finally:

@@ -406,7 +406,13 @@ class TestScenarioRegistry:
         assert [s.name for s in resolve("clean")] == [
             "producer-consumer", "cedar-idle"
         ]
-        assert len(resolve("all")) == len(SCENARIOS)
+        # "all" is directed + clean; heavyweight scenarios (the
+        # replicated cluster) are selected by name only.
+        assert len(resolve("all")) == len(SCENARIOS) - 1
+        assert "cluster-failover" not in {s.name for s in resolve("all")}
+        assert [s.name for s in resolve("cluster-failover")] == [
+            "cluster-failover"
+        ]
         assert [s.name for s in resolve("abba,wait-if")] == [
             "abba", "wait-if"
         ]
