@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench bench-perf bench-server bench-cluster golden tables census races chaos explore serve cluster failover quick all
+.PHONY: install test lint bench bench-perf bench-server bench-cluster bench-workload golden tables census races chaos explore serve cluster workload failover quick all
 
 install:
 	pip install -e . --no-build-isolation
@@ -28,6 +28,11 @@ bench-server:
 # mix) plus the single-server baseline; writes BENCH_cluster.json.
 bench-cluster:
 	PYTHONPATH=src python benchmarks/bench_cluster.py
+
+# Million-client workload scenarios + cache stampede contrast + the
+# SLO-attainment feedback loop; writes BENCH_workload.json.
+bench-workload:
+	PYTHONPATH=src python benchmarks/bench_workload.py
 
 # The golden-schedule determinism guard on its own.
 golden:
@@ -60,6 +65,11 @@ serve:
 # The sharded cluster world (balancer + N shards) with its SLO rollup.
 cluster:
 	PYTHONPATH=src python -m repro cluster
+
+# A compiled million-client workload scenario with its SLO-attainment
+# report (see docs/WORKLOAD.md).
+workload:
+	PYTHONPATH=src python -m repro workload
 
 # The failover battery: directed kill-primary + partition-balancer chaos
 # plus schedule exploration of the replicated cluster (zero lost

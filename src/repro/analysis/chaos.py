@@ -27,6 +27,11 @@ invariants the paper's systems earned the hard way:
   health probe must trip and re-route the queued work to the surviving
   shard, and the watchdog must report nothing — threads burning CPU
   behind a breaker are live, not wedged on each other.
+* **Single flight means single flight.**  A directed cache-stampede
+  scenario (hot key, short TTL, wildcard invalidations) asserts that
+  with the guard on the cache never has two fetches for one key in
+  flight, backend amplification is exactly one fetch per miss window,
+  and parked waiters read as congestion, not deadlock.
 * **Faults off ≡ no faults.**  A plan with every rate at zero (plus the
   watchdog) must reproduce the pinned golden schedule hashes exactly,
   proving the injection seams are free when disarmed.
@@ -212,6 +217,84 @@ def _cluster_chaos(scenario):
         return world.kernel, world.shutdown
 
     return build
+
+
+def _workload_chaos(scenario):
+    """A compiled workload scenario under faults: the cluster (and, for
+    cache scenarios, the cache tier) driven by aggregate million-client
+    arrival pumps.  The pumps are kernel events, not threads, so kills
+    land on the serving side only — the offered load never flinches,
+    which is exactly what makes open-loop overload dangerous."""
+
+    def build(config: KernelConfig):
+        from repro.workload.scenarios import workload_spec
+        from repro.workload.world import build_workload_world
+
+        spec = workload_spec(scenario)
+        config.ncpus = spec.shards + (1 if spec.cache else 0)
+        ww = build_workload_world(config, spec=spec)
+        return ww.world.kernel, ww.world.shutdown
+
+    return build
+
+
+def _make_cache_stampede():
+    """Directed: hot-key TTL expiry + wildcard invalidations with the
+    single-flight guard ON — the stampede scenario in its guarded
+    configuration.  The post-check asserts the guard's whole story: at
+    most one fetch per key in flight (``max_inflight_per_key == 1``),
+    backend amplification exactly one fetch per miss window, concurrent
+    misses actually coalesced, traffic completing, and the watchdog
+    quiet — parked waiters are congestion accounting, not deadlock.
+    (The *unguarded* contrast — amplification, p99 blowup, SLO loss —
+    is measured by ``benchmarks/bench_workload.py``.)
+    """
+    state: dict[str, Any] = {}
+
+    def build(config: KernelConfig):
+        from repro.workload.scenarios import workload_spec
+        from repro.workload.world import build_workload_world
+
+        spec = workload_spec("cache-stampede")
+        config.ncpus = spec.shards + 1
+        ww = build_workload_world(config, spec=spec, single_flight=True)
+        state["ww"] = ww
+        return ww.world.kernel, ww.world.shutdown
+
+    def post_check(kernel: Kernel) -> list[str]:
+        ww = state.get("ww")
+        if ww is None:
+            return ["stampede: world never built"]
+        cache = ww.cache
+        failures = []
+        if cache.max_inflight_per_key != 1:
+            failures.append(
+                "stampede: single-flight violated — "
+                f"max_inflight_per_key={cache.max_inflight_per_key}"
+            )
+        if cache.fetches != cache.fetch_windows:
+            failures.append(
+                "stampede: backend amplification with the guard on — "
+                f"{cache.fetches} fetches for {cache.fetch_windows} windows"
+            )
+        if cache.coalesced_waits == 0:
+            failures.append(
+                "stampede: no concurrent miss was ever coalesced"
+            )
+        if cache.fills == 0:
+            failures.append("stampede: no fill ever landed")
+        if cache.stats.total("completed") == 0:
+            failures.append("stampede: no cached request completed")
+        if kernel.watchdog is not None and kernel.watchdog.deadlocks:
+            failures.append(
+                "stampede: watchdog reported a deadlock for parked waiters"
+            )
+        return failures
+
+    return build, post_check
+
+
+_CACHE_STAMPEDE_BUILD, _CACHE_STAMPEDE_CHECK = _make_cache_stampede()
 
 
 def _make_cluster_wedge():
@@ -581,6 +664,8 @@ SWEEP_SCENARIOS: tuple[ChaosScenario, ...] = (
     ChaosScenario("server-overload", _server_chaos("overload")),
     ChaosScenario("cluster-steady", _cluster_chaos("steady")),
     ChaosScenario("cluster-skewed", _cluster_chaos("skewed")),
+    ChaosScenario("workload-diurnal", _workload_chaos("diurnal")),
+    ChaosScenario("cache-steady", _workload_chaos("cache-steady")),
 )
 
 DIRECTED_SCENARIOS: tuple[ChaosScenario, ...] = (
@@ -613,6 +698,12 @@ DIRECTED_SCENARIOS: tuple[ChaosScenario, ...] = (
         _PARTITION_LB_BUILD,
         plan=FaultPlan(),
         post_check=_PARTITION_LB_CHECK,
+    ),
+    ChaosScenario(
+        "cache-stampede",
+        _CACHE_STAMPEDE_BUILD,
+        plan=FaultPlan(),
+        post_check=_CACHE_STAMPEDE_CHECK,
     ),
 )
 

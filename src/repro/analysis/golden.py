@@ -1,7 +1,7 @@
 """Golden-schedule scenarios and fingerprinting, as a library.
 
 The determinism guard (``tests/test_golden_schedule.py``) pins SHA-256
-digests of nineteen scenarios' full trace streams and final statistics.
+digests of twenty-one scenarios' full trace streams and final statistics.
 This module holds the scenario bodies and the fingerprint function so
 other consumers can run the same scenarios under varied configuration:
 
@@ -473,6 +473,32 @@ def _cluster_replicated_scenario(kill: bool):
     return run
 
 
+def _workload_scenario(scenario):
+    """A compiled workload scenario: aggregate NHPP arrival pumps over
+    the cluster (plus, for cache scenarios, the cache tier).  Pinning
+    these proves the thinning pumps, the resubmit sinks and the cache's
+    fill/invalidation machinery are deterministic end to end."""
+
+    def run(config_overrides: dict | None = None, probe: Probe | None = None) -> dict:
+        from repro.workload.scenarios import workload_spec
+        from repro.workload.world import build_workload_world
+
+        spec = workload_spec(scenario)
+        ncpus = spec.shards + (1 if spec.cache else 0)
+        ww = build_workload_world(
+            _config(dict(seed=0, trace=True, ncpus=ncpus), config_overrides),
+            spec=spec,
+        )
+        ww.world.run_for(WORLD_RUN)
+        if probe is not None:
+            probe(ww.world.kernel)
+        result = fingerprint(ww.world.kernel)
+        ww.world.shutdown()
+        return result
+
+    return run
+
+
 SCENARIOS: dict[str, Callable[..., dict]] = {
     "cedar-idle": _world_scenario(build_cedar_world, CEDAR_ACTIVITIES, "idle"),
     "cedar-keyboard": _world_scenario(
@@ -497,6 +523,8 @@ SCENARIOS: dict[str, Callable[..., dict]] = {
     "cluster-skewed": _cluster_scenario("skewed"),
     "cluster-replicated": _cluster_replicated_scenario(kill=False),
     "cluster-failover": _cluster_replicated_scenario(kill=True),
+    "workload-diurnal": _workload_scenario("diurnal"),
+    "cache-steady": _workload_scenario("cache-steady"),
 }
 
 

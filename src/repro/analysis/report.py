@@ -192,6 +192,79 @@ def format_cluster_report(report: dict) -> str:
     return "\n".join(lines)
 
 
+def format_workload_report(report: dict) -> str:
+    """The full ``workload`` output for a ``WorkloadReport.to_dict()``."""
+    seconds = report["duration_us"] / 1_000_000
+    totals = report["totals"]
+    headline = (
+        f"workload scenario={report['scenario']} seed={report['seed']} "
+        f"clients={report['total_clients']:,} run={seconds:g}s"
+    )
+    if report["single_flight"] is not None:
+        headline += (
+            f" single-flight={'on' if report['single_flight'] else 'off'}"
+        )
+    tenant_rows = []
+    for name, row in report["tenants"].items():
+        latency = row.get("latency")
+        tenant_rows.append([
+            name, row["offered"], row["completed"], row["shed"],
+            row["give_ups"], row["client_retries"],
+            f"{latency['p99'] / 1000:.1f}ms" if latency else "-",
+            f"{row['slo_us'] / 1000:g}ms",
+            f"{100 * row['latency_attainment']:.1f}%",
+            f"{100 * row['slo_attainment']:.1f}%",
+        ])
+    lines = [
+        headline,
+        f"offered {totals['offered']}, completed {totals['completed']}, "
+        f"shed {totals['shed']}, give-ups {totals['give_ups']}, "
+        f"client retries {totals['client_retries']}",
+        "",
+        format_table(
+            "Per-tenant SLO attainment (client-facing)",
+            ["tenant", "offered", "completed", "shed", "give_ups",
+             "retries", "p99", "slo", "latency-att", "slo-att"],
+            tenant_rows,
+        ),
+    ]
+    cache = report.get("cache")
+    if cache:
+        lines += [
+            "",
+            f"cache: hit rate {100 * cache['hit_rate']:.1f}% "
+            f"({cache['hits']} hits / {cache['misses']} misses), "
+            f"fetches {cache['fetches']} over {cache['fetch_windows']} "
+            f"windows -> amplification {cache['amplification']:.2f}x, "
+            f"max in-flight/key {cache['max_inflight_per_key']}",
+            f"cache: fills {cache['fills']}, failed {cache['failed_fills']}, "
+            f"stale (dead-on-arrival) {cache['stale_fills']}, "
+            f"coalesced waits {cache['coalesced_waits']}, "
+            f"invalidated {cache['invalidated']}, "
+            f"ttl-expired {cache['expired_entries']}",
+        ]
+    storms = {
+        name: sink for name, sink in report.get("sinks", {}).items()
+        if sink["resubmitted"]
+    }
+    if storms:
+        noted = ", ".join(
+            f"{name} resubmitted {sink['resubmitted']} "
+            f"(gave up {sink['give_ups']})"
+            for name, sink in sorted(storms.items())
+        )
+        lines += ["", f"retry storms: {noted}"]
+    cluster = report["cluster"]
+    lines += [
+        "",
+        f"backend cluster: {cluster['throughput_per_sec']:.1f} req/s, "
+        f"shed {100 * cluster['shed_fraction']:.1f}%, "
+        f"digest {cluster['digest']}",
+        f"workload digest: {report['digest']}",
+    ]
+    return "\n".join(lines)
+
+
 def ratio(measured: float, paper: float) -> str:
     """measured/paper as a compact ratio string ("-" when undefined)."""
     if paper == 0:

@@ -407,6 +407,40 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
     from repro.cluster.world import run_cluster
     from repro.kernel.simtime import msec
 
+    if args.adapt_weights:
+        from repro.cluster.feedback import adapt_weights
+
+        result = adapt_weights(
+            seed=args.seed,
+            scenario=args.scenario,
+            rounds=args.adapt_weights,
+            duration=msec(args.duration_ms),
+            shards=args.shards,
+            workers_per_shard=args.workers_per_shard,
+            policy=args.policy,
+            admission_capacity=args.capacity,
+        )
+        for index, entry in enumerate(result.history):
+            weights = " ".join(
+                f"{name}={w}" for name, w in sorted(entry["weights"].items())
+            )
+            attainment = " ".join(
+                f"{name}={value:.3f}"
+                for name, value in entry["attainment"].items()
+            )
+            print(f"round {index}: weights [{weights}]  "
+                  f"attainment [{attainment}]")
+        final = " ".join(
+            f"{name}={w}" for name, w in sorted(result.weights.items())
+        )
+        verdict = "converged" if result.converged else "did NOT converge"
+        print(f"{verdict} after {result.rounds_run} rounds: [{final}]")
+        if args.output:
+            with open(args.output, "w") as fh:
+                json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            print(f"wrote JSON report to {args.output}")
+        return
+
     report = run_cluster(
         seed=args.seed,
         scenario=args.scenario,
@@ -419,6 +453,27 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         replicas=args.replicas,
     )
     print(format_cluster_report(report.to_dict()))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote JSON report to {args.output}")
+
+
+def _cmd_workload(args: argparse.Namespace) -> None:
+    """Compile and run a million-client workload scenario."""
+    import json
+
+    from repro.analysis.report import format_workload_report
+    from repro.kernel.simtime import msec
+    from repro.workload import run_workload
+
+    report = run_workload(
+        seed=args.seed,
+        scenario=args.scenario,
+        single_flight=False if args.no_single_flight else None,
+        duration=msec(args.duration_ms),
+    )
+    print(format_workload_report(report.to_dict()))
     if args.output:
         with open(args.output, "w") as fh:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
@@ -471,6 +526,10 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "cluster": (_cmd_cluster, "run the sharded cluster world (balancer + "
                               "N shards) and print the merged SLO rollup "
                               "with per-shard health"),
+    "workload": (_cmd_workload, "compile a million-client scenario "
+                                "(diurnal curves, flash crowds, retry "
+                                "storms, cache stampedes) and print the "
+                                "per-tenant SLO-attainment report"),
     "trace": (_cmd_trace, "render a 100 ms event history; optionally "
                           "export a Chrome trace JSON"),
 }
@@ -543,6 +602,24 @@ def main(argv: list[str] | None = None) -> int:
                                   "standby")
             sub.add_argument("--duration-ms", type=int, default=2000,
                              help="simulated run length in ms (default 2000)")
+            sub.add_argument("--adapt-weights", type=int, default=0,
+                             metavar="ROUNDS",
+                             help="instead of one run, close the SLO "
+                                  "feedback loop: rerun up to ROUNDS times "
+                                  "nudging WFQ weights until they settle")
+            sub.add_argument("--output", default=None,
+                             help="write the JSON report here")
+        if name == "workload":
+            from repro.workload import WORKLOAD_SCENARIOS
+
+            sub.add_argument("--scenario", default="diurnal",
+                             choices=list(WORKLOAD_SCENARIOS),
+                             help="compiled scenario (default diurnal)")
+            sub.add_argument("--duration-ms", type=int, default=2000,
+                             help="simulated run length in ms (default 2000)")
+            sub.add_argument("--no-single-flight", action="store_true",
+                             help="disable the cache tier's single-flight "
+                                  "guard (stampede mode)")
             sub.add_argument("--output", default=None,
                              help="write the JSON report here")
         if name == "explore":

@@ -17,10 +17,17 @@ so the front door itself is no longer a single point of failure (see
 """
 
 from repro.cluster.admission import TokenBucket, WfqQueue
+from repro.cluster.cache import CacheTier
 from repro.cluster.balancer import (
     ADMISSION_POLICIES,
     BALANCER_POLICIES,
     LoadBalancer,
+)
+from repro.cluster.feedback import (
+    AdaptationResult,
+    adapt_weights,
+    attainment_by_tenant,
+    next_weights,
 )
 from repro.cluster.model import CLUSTER_SCENARIOS, cluster_tenants
 from repro.cluster.replication import (
@@ -44,13 +51,17 @@ __all__ = [
     "ADMISSION_POLICIES",
     "BALANCER_POLICIES",
     "CLUSTER_SCENARIOS",
+    "AdaptationResult",
     "BalancerLease",
+    "CacheTier",
     "ClusterReport",
     "LoadBalancer",
     "ReplicationLink",
     "StandbyBalancer",
     "TokenBucket",
     "WfqQueue",
+    "adapt_weights",
+    "attainment_by_tenant",
     "build_cluster_world",
     "cluster_tenants",
     "install_balancer_kill",
@@ -58,6 +69,7 @@ __all__ = [
     "live_requests",
     "lost_requests",
     "merge_cluster_stats",
+    "next_weights",
     "run_cluster",
     "summarize_cluster",
 ]

@@ -184,8 +184,14 @@ def build_cluster_world(
     tenants: tuple[TenantSpec, ...] | None = None,
     replicas: bool = False,
     standby: bool | None = None,
+    install_traffic: bool = True,
 ) -> tuple[World, LoadBalancer]:
     """Build the cluster: shards started, balancer fronted, traffic on.
+
+    ``install_traffic=False`` skips the per-tenant client loops — the
+    workload compiler drives such a cluster with its own aggregate
+    arrival chains (and possibly a cache tier in front), without the
+    default generators double-offering traffic.
 
     ``replicas=True`` pairs every shard with a replica fed by a
     log-shipping :class:`~repro.cluster.replication.ReplicationLink` and
@@ -243,11 +249,12 @@ def build_cluster_world(
     if use_standby:
         balancer.standby = StandbyBalancer(world, balancer, lease)
         balancer.standby.start()
-    for tenant in mix:
-        if tenant.mode == "open":
-            install_open_loop(balancer, tenant)
-        else:
-            install_closed_loop(balancer, tenant)
+    if install_traffic:
+        for tenant in mix:
+            if tenant.mode == "open":
+                install_open_loop(balancer, tenant)
+            else:
+                install_closed_loop(balancer, tenant)
     return world, balancer
 
 
@@ -340,6 +347,7 @@ def run_cluster(
     keep_world: bool = False,
     replicas: bool = False,
     standby: bool | None = None,
+    tenants: tuple[TenantSpec, ...] | None = None,
 ) -> ClusterReport | tuple[ClusterReport, World, LoadBalancer]:
     """Run one cluster experiment and fold it into a report.
 
@@ -362,6 +370,7 @@ def run_cluster(
         policy=policy,
         admission=admission,
         admission_capacity=admission_capacity,
+        tenants=tenants,
         replicas=replicas,
         standby=standby,
     )

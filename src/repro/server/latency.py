@@ -98,6 +98,28 @@ class LatencyHistogram:
     def quantiles(self) -> dict[str, int]:
         return {name: self.percentile(q) for name, q in QUANTILES}
 
+    def attainment(self, slo_us: int) -> float:
+        """Fraction of recorded latencies at or below ``slo_us``.
+
+        Computed from the bucket counts, so it is conservative: a bucket
+        counts as "within SLO" only when its *upper* bound fits, except
+        that an SLO at or above the observed maximum is 1.0 exactly.
+        An empty histogram attains trivially (1.0).
+        """
+        if slo_us < 0:
+            raise ValueError(f"negative SLO target {slo_us}")
+        if self.total == 0:
+            return 1.0
+        if self.max is not None and slo_us >= self.max:
+            return 1.0
+        within = 0
+        for index, count in enumerate(self.counts):
+            upper = 0 if index == 0 else (1 << index) - 1
+            if upper > slo_us:
+                break
+            within += count
+        return within / self.total
+
     @property
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
@@ -137,6 +159,27 @@ class LatencyHistogram:
             f"<LatencyHistogram n={self.total} p50={qs['p50']} "
             f"p99={qs['p99']} max={self.max}>"
         )
+
+
+def attainment_from_dict(latency: dict | None, slo_us: int) -> float:
+    """:meth:`LatencyHistogram.attainment` over a serialized histogram.
+
+    Reports carry histograms in :meth:`LatencyHistogram.to_dict` form;
+    the SLO-feedback loop reads attainment straight from those dicts
+    without rebuilding the histogram object.
+    """
+    if not latency or not latency.get("total"):
+        return 1.0
+    maximum = latency.get("max")
+    if maximum is not None and slo_us >= maximum:
+        return 1.0
+    within = 0
+    for bucket, count in latency["buckets"].items():
+        index = int(bucket)
+        upper = 0 if index == 0 else (1 << index) - 1
+        if upper <= slo_us:
+            within += count
+    return within / latency["total"]
 
 
 def bucket_label(index: int) -> str:

@@ -67,6 +67,32 @@ class TenantSpec:
     #: request finally got in.  Off reproduces the PR-4 accounting that
     #: silently omitted those waits.
     co_aware: bool = True
+    #: SLO latency target in µs for attainment reporting; 0 means "use
+    #: the per-attempt deadline as the target".
+    slo: int = 0
+    #: Heavy-tailed service-time model: with probability
+    #: ``cost_tail_prob`` the minted cost is further multiplied by a
+    #: bounded-Pareto factor ``(1/u)**(1/alpha)`` capped at
+    #: ``cost_tail_cap``.  0 disables the model *and* the RNG draws, so
+    #: existing tenants' cost streams are byte-identical.
+    cost_tail_prob: float = 0.0
+    cost_tail_alpha: float = 1.5
+    cost_tail_cap: float = 50.0
+    #: Cache tier (see :mod:`repro.cluster.cache`): cached tenants' reads
+    #: carry a cache key and are answered by the cache process; misses
+    #: fan through to the backend as fetches.
+    cached: bool = False
+    cache_keys: int = 16
+    #: Probability a read lands on the single hot key (key 0); the rest
+    #: spread uniformly over the remaining keys.
+    cache_hot_frac: float = 0.0
+    #: Fill freshness lifetime: entries expire this long after the fill.
+    cache_ttl: int = msec(500)
+
+    @property
+    def slo_us(self) -> int:
+        """The effective SLO latency target."""
+        return self.slo if self.slo > 0 else self.deadline
 
 
 class Request:
@@ -166,6 +192,18 @@ class RequestFactory:
         self._rid_seq[tenant.name] = seq + 1
         spread = 2.0 * self.cost_rng.uniform() - 1.0
         cost = max(1, round(tenant.cost * (1.0 + tenant.cost_jitter * spread)))
+        if tenant.cost_tail_prob > 0.0 and self.cost_rng.chance(
+            tenant.cost_tail_prob
+        ):
+            # Bounded Pareto: most draws near 1x, the occasional
+            # cap-bounded monster — the heavy tail §service-time models
+            # need, gated so zero-prob tenants draw nothing extra.
+            u = max(self.cost_rng.uniform(), 1e-12)
+            mult = min(
+                tenant.cost_tail_cap,
+                (1.0 / u) ** (1.0 / tenant.cost_tail_alpha),
+            )
+            cost = max(1, round(cost * mult))
         key = None
         if tenant.writes:
             key = f"{tenant.name}:k{self.key_rng.randint(0, tenant.write_keys - 1)}"

@@ -157,6 +157,43 @@ class TestCli:
         assert loaded["shards"] == 2
         assert loaded["merged"]["latency"]["p99"] >= 0
 
+    def test_workload_command_prints_attainment_report(self, capsys):
+        assert main(["workload", "--duration-ms", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "workload scenario=diurnal" in out
+        assert "clients=350,000" in out
+        assert "Per-tenant SLO attainment" in out
+        assert "workload digest:" in out
+
+    def test_workload_command_writes_json(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "workload.json"
+        assert main(["workload", "--scenario", "cache-steady",
+                     "--duration-ms", "400", "--no-single-flight",
+                     "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "single-flight=off" in out
+        loaded = json.loads(output.read_text())
+        assert loaded["scenario"] == "cache-steady"
+        assert loaded["single_flight"] is False
+        assert loaded["cache"]["fetches"] >= 0
+        assert set(loaded["tenants"]) == {"reads", "api"}
+
+    def test_cluster_adapt_weights_runs_the_loop(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "adapt.json"
+        assert main(["cluster", "--scenario", "skewed", "--adapt-weights",
+                     "2", "--duration-ms", "300",
+                     "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "round 0: weights" in out
+        assert "attainment" in out
+        loaded = json.loads(output.read_text())
+        assert loaded["rounds_run"] >= 1
+        assert loaded["history"][0]["weights"]["bulk"] == 1
+
     def test_trace_command_writes_chrome_json(self, capsys, tmp_path):
         output = tmp_path / "trace.json"
         assert main(["trace", str(output)]) == 0

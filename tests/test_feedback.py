@@ -1,0 +1,100 @@
+"""SLO-feedback tests: the hill-climb rule and the closed loop.
+
+The update rule is pure and pinned exhaustively; the loop test runs the
+real measure -> nudge -> rerun cycle on the skewed mix and pins the
+*converged weight vector* — the regression witness that the whole
+feedback path (cluster run, attainment extraction, weight update) is
+deterministic end to end.
+"""
+
+from repro.cluster.feedback import (
+    MAX_WEIGHT,
+    adapt_weights,
+    attainment_by_tenant,
+    next_weights,
+)
+from repro.cluster.world import run_cluster
+from repro.kernel.simtime import msec
+
+
+# -- the update rule ---------------------------------------------------------
+
+def test_low_attainment_raises_weight():
+    out = next_weights({"a": 2}, {"a": 0.5})
+    assert out == {"a": 3}
+
+
+def test_high_attainment_lowers_weight():
+    out = next_weights({"a": 2}, {"a": 0.99})
+    assert out == {"a": 1}
+
+
+def test_deadband_holds_weight():
+    for att in (0.86, 0.9, 0.94):
+        assert next_weights({"a": 3}, {"a": att}) == {"a": 3}
+
+
+def test_weight_bounds_are_respected():
+    assert next_weights({"a": MAX_WEIGHT}, {"a": 0.0}) == {"a": MAX_WEIGHT}
+    assert next_weights({"a": 1}, {"a": 1.0}) == {"a": 1}
+
+
+def test_missing_attainment_defaults_to_satisfied():
+    """A tenant with no attainment sample (e.g. no traffic) is treated
+    as satisfied: its weight drifts down, never up."""
+    assert next_weights({"a": 3}, {}) == {"a": 2}
+
+
+def test_custom_target_and_deadband():
+    assert next_weights(
+        {"a": 2}, {"a": 0.7}, target=0.6, deadband=0.05
+    ) == {"a": 1}
+    assert next_weights(
+        {"a": 2}, {"a": 0.7}, target=0.8, deadband=0.05
+    ) == {"a": 3}
+
+
+# -- attainment extraction ---------------------------------------------------
+
+def test_attainment_by_tenant_reads_cluster_report():
+    report = run_cluster(scenario="skewed", duration=msec(300))
+    mix = tuple(t for t in _skewed_mix())
+    attainment = attainment_by_tenant(report, mix)
+    assert set(attainment) == {t.name for t in mix}
+    for value in attainment.values():
+        assert 0.0 <= value <= 1.0
+    # The flooding bulk tenant cannot be anywhere near target.
+    assert attainment["bulk"] < 0.5
+
+
+def _skewed_mix():
+    from repro.cluster.model import cluster_tenants
+
+    return cluster_tenants("skewed")
+
+
+# -- the closed loop ---------------------------------------------------------
+
+def test_adapt_weights_converges_to_pinned_vector():
+    """The regression pin: on the skewed mix at 500 ms rounds the loop
+    reaches a weight fixpoint in 9 rounds, with the structurally
+    overloaded tenants (bulk, metered) pegged at the cap and the
+    well-behaved interactive tenant relieved to the floor.  Any change
+    to the cluster, the attainment math, or the update rule that moves
+    this vector must be deliberate."""
+    result = adapt_weights(
+        scenario="skewed", rounds=12, duration=msec(500)
+    )
+    assert result.converged
+    assert result.rounds_run == 9
+    assert result.weights == {
+        "api": 5, "bulk": 8, "interactive": 1, "metered": 8, "ordered": 6,
+    }
+    # The transcript is complete and starts from the spec weights.
+    assert len(result.history) == result.rounds_run
+    assert result.history[0]["weights"] == {
+        "api": 2, "bulk": 1, "interactive": 2, "metered": 1, "ordered": 1,
+    }
+    d = result.to_dict()
+    assert d["weights"] == result.weights
+    assert d["converged"] is True

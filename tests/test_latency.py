@@ -8,7 +8,12 @@ rather than indirectly through a world run.
 
 import pytest
 
-from repro.server.latency import BUCKET_COUNT, LatencyHistogram, bucket_label
+from repro.server.latency import (
+    BUCKET_COUNT,
+    LatencyHistogram,
+    attainment_from_dict,
+    bucket_label,
+)
 
 
 def hist(*values: int) -> LatencyHistogram:
@@ -141,3 +146,83 @@ def test_merge_does_not_mutate_source():
     b_before = b.to_dict()
     a.merge(b)
     assert b.to_dict() == b_before
+
+
+# -- overflow bucket ---------------------------------------------------------
+
+def test_overflow_bucket_collapses_extremes():
+    """Everything past bucket 38's range lands in the final bucket, so
+    two wildly different extremes become indistinguishable to the
+    quantiles — only min/max/sum keep the true values."""
+    h = hist(1 << 45, 1 << 50)
+    assert h.counts[BUCKET_COUNT - 1] == 2
+    assert h.percentile(0.5) == h.percentile(1.0)
+    assert h.max == 1 << 50
+    assert h.sum == (1 << 45) + (1 << 50)
+
+
+def test_below_overflow_bucket_keeps_resolution():
+    """2**38 - 1 still has its own bucket; 2**38 crosses into overflow."""
+    below = hist((1 << 38) - 1)
+    assert below.counts[BUCKET_COUNT - 1] == 0
+    at = hist(1 << 38)
+    assert at.counts[BUCKET_COUNT - 1] == 1
+
+
+def test_overflow_merge_saturates_percentile():
+    """The merged tail quantile saturates at the final bucket's bound
+    ((1 << 39) - 1), not the true maximum — max alone keeps the truth."""
+    a = hist(10)
+    a.merge(hist(1 << 45))
+    assert a.counts[BUCKET_COUNT - 1] == 1
+    assert a.percentile(1.0) == (1 << (BUCKET_COUNT - 1)) - 1
+    assert a.max == 1 << 45
+
+
+# -- attainment --------------------------------------------------------------
+
+def test_attainment_empty_is_trivially_one():
+    assert LatencyHistogram().attainment(0) == 1.0
+    assert attainment_from_dict(None, 100) == 1.0
+    assert attainment_from_dict(LatencyHistogram().to_dict(), 100) == 1.0
+
+
+def test_attainment_rejects_negative_slo():
+    with pytest.raises(ValueError):
+        hist(5).attainment(-1)
+
+
+def test_attainment_at_or_above_max_is_exactly_one():
+    """SLO at the observed maximum attains 1.0 even though the max's
+    bucket upper bound exceeds the SLO — the conservative bucket rule
+    must not penalize a histogram that demonstrably met its target."""
+    h = hist(100, 900, 1300)
+    assert h.attainment(1300) == 1.0
+    assert h.attainment(1299) < 1.0
+
+
+def test_attainment_is_bucket_conservative():
+    """A bucket counts as within-SLO only when its upper bound fits:
+    700 lands in [512, 1023], so an 800 us SLO cannot credit it."""
+    h = hist(700, 2_000_000)
+    assert h.attainment(800) == 0.0
+    assert h.attainment(1023) == 0.5
+
+
+def test_attainment_from_dict_matches_object():
+    h = hist(10, 100, 1_000, 10_000, 100_000)
+    for slo in (0, 15, 1_023, 99_999, 100_000, 10**9):
+        assert attainment_from_dict(h.to_dict(), slo) == h.attainment(slo)
+
+
+def test_attainment_overflow_bucket_saturates():
+    """The overflow bucket saturates attainment the same way it does
+    percentile: an observation of 2**45 registers under the final
+    bucket's bound ((1 << 39) - 1), so SLOs past that bound credit it
+    even though the true value was far larger — the known cost of a
+    bounded histogram, pinned here so a regression is loud."""
+    h = hist(1 << 45)
+    bound = (1 << (BUCKET_COUNT - 1)) - 1
+    assert h.attainment(bound - 1) == 0.0
+    assert h.attainment(bound) == 1.0
+    assert h.attainment(1 << 45) == 1.0  # at the true max, exact
