@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench bench-perf bench-server bench-cluster bench-workload golden tables census races chaos explore serve cluster workload failover quick all
+.PHONY: install test lint bench bench-perf bench-server bench-cluster bench-workload golden tables census races chaos explore litmus serve cluster workload failover quick all
 
 install:
 	pip install -e . --no-build-isolation
@@ -57,6 +57,13 @@ chaos:
 # docs/EXPLORATION.md).
 explore:
 	PYTHONPATH=src python -m repro --seed 0 explore --scenario all --budget 200 --output explore-report.json
+
+# Litmus battery: enumerate reachable SB/MP/LB/IRIW outcomes under the
+# sc/tso/pso memory models, check the pinned tables, and save a
+# replayable witness trace for every beyond-SC outcome (see
+# docs/MEMORY.md).
+litmus:
+	PYTHONPATH=src python -m repro --seed 0 litmus --trace-dir litmus-traces --output litmus-report.json
 
 # The multi-tenant RPC server world with its latency-SLO report.
 serve:

@@ -56,6 +56,29 @@ def scenario_monitor_traffic(trace: bool = False) -> int:
     return enters
 
 
+def scenario_monitor_traffic_tso(model: str = "tso") -> int:
+    """The hot monitor path with the tso store-buffer model attached:
+    every enter/exit runs the fence path, bounding the memory-model
+    seam's overhead (the ``tso_overhead`` section of the JSON holds the
+    ratio against the plain ``sc`` run, required <= 1.5x)."""
+    kernel = Kernel(
+        KernelConfig(switch_cost=0, monitor_overhead=0, memory_model=model)
+    )
+    lock = Monitor("hot")
+
+    def worker():
+        for _ in range(20_000):
+            yield Enter(lock)
+            yield Exit(lock)
+
+    kernel.fork_root(worker)
+    kernel.run_for(sec(10))
+    enters = kernel.stats.ml_enters
+    kernel.shutdown()
+    assert enters == 20_000
+    return enters
+
+
 def scenario_monitor_traffic_traced() -> int:
     """Same traffic with full tracing on — the tracing overhead bound."""
     return scenario_monitor_traffic(trace=True)
@@ -179,6 +202,7 @@ def scenario_timer_wheel() -> int:
 
 SCENARIOS = {
     "monitor_traffic": scenario_monitor_traffic,
+    "monitor_traffic_tso": scenario_monitor_traffic_tso,
     "monitor_traffic_traced": scenario_monitor_traffic_traced,
     "context_switching": scenario_context_switching,
     "cv_ping_pong": scenario_cv_ping_pong,
@@ -194,6 +218,10 @@ SCENARIOS = {
 
 def test_perf_monitor_traffic(benchmark):
     assert benchmark(scenario_monitor_traffic) == 20_000
+
+
+def test_perf_monitor_traffic_tso(benchmark):
+    assert benchmark(scenario_monitor_traffic_tso) == 20_000
 
 
 def test_perf_context_switching(benchmark):
@@ -278,6 +306,9 @@ def main(argv: list[str]) -> int:
                 current[name]["ops_per_sec"] / baseline[name]["ops_per_sec"], 3
             )
 
+    sc_rate = current["monitor_traffic"]["ops_per_sec"]
+    tso_rate = current["monitor_traffic_tso"]["ops_per_sec"]
+    tso_factor = round(sc_rate / tso_rate, 3) if tso_rate else None
     payload = {
         "host": {
             "python": sys.version.split()[0],
@@ -295,6 +326,17 @@ def main(argv: list[str]) -> int:
         "headline": {
             name: improvement.get(name) for name in HEADLINE
         },
+        # The memory-model seam is free under sc (monitor_traffic is
+        # the same code path as the seed) and must stay cheap under
+        # tso: slowdown bounded at 1.5x on the hottest path.
+        "tso_overhead": {
+            "probe": "monitor_traffic",
+            "sc_ops_per_sec": sc_rate,
+            "tso_ops_per_sec": tso_rate,
+            "factor": tso_factor,
+            "bound": 1.5,
+            "ok": tso_factor is not None and tso_factor <= 1.5,
+        },
     }
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output}")
@@ -302,7 +344,11 @@ def main(argv: list[str]) -> int:
         ratio = improvement.get(name)
         if ratio is not None:
             print(f"  headline {name}: {ratio:.2f}x vs baseline")
-    return 0
+    if tso_factor is not None:
+        verdict = "ok" if tso_factor <= 1.5 else "OVER BOUND"
+        print(f"  tso overhead on monitor_traffic: {tso_factor:.2f}x "
+              f"(bound 1.5x) {verdict}")
+    return int(not payload["tso_overhead"]["ok"])
 
 
 if __name__ == "__main__":

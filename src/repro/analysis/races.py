@@ -114,6 +114,16 @@ class RaceReport:
     means a confirmed data race; False means some non-lock edge (fork,
     join, channel, fence publication) ordered the accesses and the lockset
     violation is advisory.
+
+    ``sc_race`` classifies a confirmed race against the *SC
+    interpretation* of the same run: a second clock system that
+    additionally counts reads-from edges (a read that observed a write is
+    ordered after it — under sequential consistency the observed data
+    flow is an ordering).  ``sc_race=True`` means the pair is concurrent
+    even with those edges — racy on any memory model.  ``sc_race=False``
+    (with ``hb_race=True``) means the observed data flow orders the pair,
+    so only a weaker model's store buffering lets the race manifest —
+    the §5.5 "correct under strong ordering" pattern.
     """
 
     var_name: str
@@ -122,9 +132,15 @@ class RaceReport:
     second: Access
     hb_race: bool
     detected_at: int
+    sc_race: bool = True
 
     def describe(self) -> str:
-        verdict = "RACE" if self.hb_race else "lockset-only (ordered by happens-before)"
+        if not self.hb_race:
+            verdict = "lockset-only (ordered by happens-before)"
+        elif self.sc_race:
+            verdict = "RACE (racy even under SC)"
+        else:
+            verdict = "RACE (racy only under TSO/weak ordering)"
         return (
             f"{self.var_name!r}: {verdict}\n"
             f"    {self.first}\n"
@@ -135,7 +151,7 @@ class RaceReport:
 class _ThreadClocks:
     """Per-thread detector state."""
 
-    __slots__ = ("clock", "fence")
+    __slots__ = ("clock", "fence", "sc")
 
     def __init__(self, tid: int) -> None:
         self.clock = VectorClock({tid: 1})
@@ -143,6 +159,29 @@ class _ThreadClocks:
         #: monitor fence); carried by subsequent stores as their
         #: publication clock.  Empty until the thread fences.
         self.fence = VectorClock()
+        #: The SC-interpretation clock: mirrors every edge ``clock``
+        #: sees *plus* reads-from edges (joining the observed write's
+        #: token).  Own components tick in lockstep with ``clock``, so
+        #: an :class:`Access` epoch is valid against either system.
+        self.sc = VectorClock({tid: 1})
+
+
+class _PairClock:
+    """HB + SC clocks for one synchronisation object (monitor/CV/channel)."""
+
+    __slots__ = ("hb", "sc")
+
+    def __init__(self) -> None:
+        self.hb = VectorClock()
+        self.sc = VectorClock()
+
+    def acquire_into(self, state: _ThreadClocks) -> None:
+        state.clock.join(self.hb)
+        state.sc.join(self.sc)
+
+    def release_from(self, state: _ThreadClocks) -> None:
+        self.hb.join(state.clock)
+        self.sc.join(state.sc)
 
 
 class _VarState:
@@ -179,9 +218,9 @@ class RaceDetector:
         self._kernel = kernel
         self._threads: dict[int, _ThreadClocks] = {}
         self._vars: dict[int, _VarState] = {}
-        self._monitor_clocks: dict[int, VectorClock] = {}
-        self._cv_clocks: dict[int, VectorClock] = {}
-        self._channel_clocks: dict[int, VectorClock] = {}
+        self._monitor_clocks: dict[int, _PairClock] = {}
+        self._cv_clocks: dict[int, _PairClock] = {}
+        self._channel_clocks: dict[int, _PairClock] = {}
         self.reports: list[RaceReport] = []
         self.reads = 0
         self.writes = 0
@@ -213,18 +252,23 @@ class RaceDetector:
         if parent is not None:
             parent_state = self._thread(parent.tid)
             child_state.clock.join(parent_state.clock)
+            child_state.sc.join(parent_state.sc)
             parent_state.clock.tick(parent.tid)
+            parent_state.sc.tick(parent.tid)
 
     def on_join(self, joiner: "SimThread", target: "SimThread") -> None:
         """JOIN: everything the target did happens-before the joiner."""
         self.sync_events += 1
-        self._thread(joiner.tid).clock.join(self._thread(target.tid).clock)
+        joiner_state = self._thread(joiner.tid)
+        target_state = self._thread(target.tid)
+        joiner_state.clock.join(target_state.clock)
+        joiner_state.sc.join(target_state.sc)
 
     def on_acquire(self, thread: "SimThread", monitor: Any) -> None:
         """Monitor acquired: inherit every previous holder's history."""
         self.sync_events += 1
         state = self._thread(thread.tid)
-        state.clock.join(self._monitor(monitor))
+        self._monitor(monitor).acquire_into(state)
         # Monitor entry fences ("The monitor implementation for weak
         # ordering can use memory barrier instructions").
         state.fence = state.clock.copy()
@@ -234,20 +278,22 @@ class RaceDetector:
         self.sync_events += 1
         state = self._thread(thread.tid)
         state.fence = state.clock.copy()
-        self._monitor(monitor).join(state.clock)
+        self._monitor(monitor).release_from(state)
         state.clock.tick(thread.tid)
+        state.sc.tick(thread.tid)
 
     def on_notify(self, thread: "SimThread", cv: Any) -> None:
         """NOTIFY/BROADCAST: the notifier's history flows to the wakers."""
         self.sync_events += 1
         state = self._thread(thread.tid)
-        self._cv(cv).join(state.clock)
+        self._cv(cv).release_from(state)
         state.clock.tick(thread.tid)
+        state.sc.tick(thread.tid)
 
     def on_cv_wake(self, waiter: "SimThread", cv: Any) -> None:
         """A WAIT ended by notification: acquire the CV's clock."""
         self.sync_events += 1
-        self._thread(waiter.tid).clock.join(self._cv(cv))
+        self._cv(cv).acquire_into(self._thread(waiter.tid))
 
     def on_channel_post(self, channel: Any, thread: "SimThread | None" = None) -> None:
         """Channel post.  Posts come from the external world (workload
@@ -256,13 +302,14 @@ class RaceDetector:
         self.sync_events += 1
         if thread is not None:
             state = self._thread(thread.tid)
-            self._channel(channel).join(state.clock)
+            self._channel(channel).release_from(state)
             state.clock.tick(thread.tid)
+            state.sc.tick(thread.tid)
 
     def on_channel_receive(self, thread: "SimThread", channel: Any) -> None:
         """Channel receive: acquire whatever history the channel carries."""
         self.sync_events += 1
-        self._thread(thread.tid).clock.join(self._channel(channel))
+        self._channel(channel).acquire_into(self._thread(thread.tid))
 
     def on_fence(self, thread: "SimThread") -> None:
         """Explicit Fence: subsequent stores publish the pre-fence clock."""
@@ -270,10 +317,14 @@ class RaceDetector:
         state = self._thread(thread.tid)
         state.fence = state.clock.copy()
         state.clock.tick(thread.tid)
+        state.sc.tick(thread.tid)
 
     # -- memory accesses ---------------------------------------------------
 
-    def on_write(self, thread: "SimThread", var: Any, now: int) -> None:
+    def on_write(self, thread: "SimThread", var: Any, now: int) -> Any:
+        """Record a write; returns the write token (the writer's SC clock
+        snapshot) that the memory system stores alongside the value so a
+        later reader can report exactly which write it observed."""
         self.writes += 1
         state = self._thread(thread.tid)
         vs = self._var(var)
@@ -299,8 +350,11 @@ class RaceDetector:
         # Fence publication: this store carries everything that happened
         # before the writer's last fence.
         vs.publish.join(state.fence)
+        return state.sc.copy()
 
-    def on_read(self, thread: "SimThread", var: Any, now: int) -> None:
+    def on_read(
+        self, thread: "SimThread", var: Any, now: int, observed: Any = None
+    ) -> None:
         self.reads += 1
         state = self._thread(thread.tid)
         vs = self._var(var)
@@ -308,6 +362,11 @@ class RaceDetector:
         # a reader that observes fence-published data is ordered after the
         # writer's pre-fence history.
         state.clock.join(vs.publish)
+        state.sc.join(vs.publish)
+        if observed is not None:
+            # Reads-from edge, SC interpretation only: the read observed
+            # this write, so under SC the write is ordered before it.
+            state.sc.join(observed)
         access = self._access(thread, "read", now, state)
         locks = self._held_uids(thread)
 
@@ -346,22 +405,22 @@ class RaceDetector:
             state = self._vars[var.uid] = _VarState(var.uid, var.name)
         return state
 
-    def _monitor(self, monitor: Any) -> VectorClock:
+    def _monitor(self, monitor: Any) -> _PairClock:
         clock = self._monitor_clocks.get(monitor.uid)
         if clock is None:
-            clock = self._monitor_clocks[monitor.uid] = VectorClock()
+            clock = self._monitor_clocks[monitor.uid] = _PairClock()
         return clock
 
-    def _cv(self, cv: Any) -> VectorClock:
+    def _cv(self, cv: Any) -> _PairClock:
         clock = self._cv_clocks.get(cv.uid)
         if clock is None:
-            clock = self._cv_clocks[cv.uid] = VectorClock()
+            clock = self._cv_clocks[cv.uid] = _PairClock()
         return clock
 
-    def _channel(self, channel: Any) -> VectorClock:
+    def _channel(self, channel: Any) -> _PairClock:
         clock = self._channel_clocks.get(channel.uid)
         if clock is None:
-            clock = self._channel_clocks[channel.uid] = VectorClock()
+            clock = self._channel_clocks[channel.uid] = _PairClock()
         return clock
 
     @staticmethod
@@ -405,6 +464,9 @@ class RaceDetector:
         ordered = state.clock.get(other.tid) >= other.epoch
         if require_hb and ordered:
             return
+        # Same test against the SC clocks (sync edges + reads-from):
+        # sc ⊇ hb pointwise, so an HB-ordered pair is always SC-ordered.
+        sc_ordered = state.sc.get(other.tid) >= other.epoch
         report = RaceReport(
             var_name=vs.name,
             var_uid=vs.uid,
@@ -412,6 +474,7 @@ class RaceDetector:
             second=access,
             hb_race=not ordered,
             detected_at=now,
+            sc_race=not sc_ordered,
         )
         vs.reported = True
         self.reports.append(report)

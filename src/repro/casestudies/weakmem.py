@@ -16,6 +16,14 @@ Each experiment runs on a 2-CPU kernel under strong ordering, weak
 ordering, and weak ordering with monitor protection (whose implicit
 fences restore safety — "The monitor implementation for weak ordering can
 use memory barrier instructions").
+
+Both experiments also accept ``model=`` to run on any model behind the
+``KernelConfig(memory_model=...)`` seam (see :mod:`repro.memmodel`).
+The per-model outcome is itself a finding worth pinning: under ``pso``
+(per-variable-FIFO buffers, the §5.5 machine) both hazards occur, while
+under ``tso`` *neither* can — x86-TSO's whole-buffer FIFO commits the
+record's fields before the pointer and ``data`` before ``done``, so the
+paper's two examples are exactly the idioms TSO was designed to rescue.
 """
 
 from __future__ import annotations
@@ -35,6 +43,38 @@ from repro.kernel.simtime import msec, sec, usec
 from repro.sync.monitor import Monitor
 
 
+def _make_config(
+    memory_order: "str | None",
+    model: "str | None",
+    *,
+    seed: int,
+    race_detection: bool,
+) -> KernelConfig:
+    """Build the 2-CPU experiment config from either selector.
+
+    ``memory_order`` is the historical strong/weak switch (kept so the
+    original experiments stay byte-identical); ``model`` selects any
+    model on the ``memory_model`` seam.  Exactly one must be given.
+    """
+    if (memory_order is None) == (model is None):
+        raise TypeError("pass exactly one of memory_order= or model=")
+    if model is not None:
+        return KernelConfig(
+            seed=seed,
+            ncpus=2,
+            memory_model=model,
+            store_buffer_delay=usec(20),
+            race_detection=race_detection,
+        )
+    return KernelConfig(
+        seed=seed,
+        ncpus=2,
+        memory_order=memory_order,
+        store_buffer_delay=usec(20),
+        race_detection=race_detection,
+    )
+
+
 @dataclass
 class PublicationResult:
     memory_order: str
@@ -43,26 +83,24 @@ class PublicationResult:
     torn_reads: int  # pointer seen, fields not yet visible
     #: RaceReports when run with ``race_detection=True`` (else empty).
     race_reports: list = field(default_factory=list)
+    #: The resolved ``memory_model`` the run used (sc/tso/pso/weak).
+    model: str = ""
 
 
 def run_publication(
     *,
-    memory_order: str,
+    memory_order: "str | None" = None,
+    model: "str | None" = None,
     monitored: bool = False,
     rounds: int = 50,
     seed: int = 0,
     race_detection: bool = False,
 ) -> PublicationResult:
     """The time-date record publication loop on two CPUs."""
-    kernel = Kernel(
-        KernelConfig(
-            seed=seed,
-            ncpus=2,
-            memory_order=memory_order,
-            store_buffer_delay=usec(20),
-            race_detection=race_detection,
-        )
+    config = _make_config(
+        memory_order, model, seed=seed, race_detection=race_detection
     )
+    kernel = Kernel(config)
     pointer = SimVar("global-record", initial=None)
     lock = Monitor("record-lock") if monitored else None
     torn = [0]
@@ -101,7 +139,8 @@ def run_publication(
     kernel.fork_root(reader, name="reader")
     kernel.run_for(sec(10))
     result = PublicationResult(
-        memory_order=memory_order,
+        memory_order=config.memory_order,
+        model=config.memory_model,
         monitored=monitored,
         reads=reads[0],
         torn_reads=torn[0],
@@ -120,11 +159,14 @@ class InitOnceResult:
     saw_uninitialised: bool
     #: RaceReports when run with ``race_detection=True`` (else empty).
     race_reports: list = field(default_factory=list)
+    #: The resolved ``memory_model`` the run used (sc/tso/pso/weak).
+    model: str = ""
 
 
 def run_init_once(
     *,
-    memory_order: str,
+    memory_order: "str | None" = None,
+    model: "str | None" = None,
     fenced: bool = False,
     seed: int = 0,
     race_detection: bool = False,
@@ -138,15 +180,10 @@ def run_init_once(
     """
     from repro.kernel.primitives import Fence
 
-    kernel = Kernel(
-        KernelConfig(
-            seed=seed,
-            ncpus=2,
-            memory_order=memory_order,
-            store_buffer_delay=usec(20),
-            race_detection=race_detection,
-        )
+    config = _make_config(
+        memory_order, model, seed=seed, race_detection=race_detection
     )
+    kernel = Kernel(config)
     data = SimVar("init-data", initial=None)
     done = SimVar("init-done", initial=False)
     observed = {"uninitialised": False}
@@ -173,7 +210,8 @@ def run_init_once(
     kernel.fork_root(consumer, name="consumer")
     kernel.run_for(sec(1))
     result = InitOnceResult(
-        memory_order=memory_order,
+        memory_order=config.memory_order,
+        model=config.memory_model,
         fenced=fenced,
         saw_uninitialised=observed["uninitialised"],
         race_reports=(

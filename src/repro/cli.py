@@ -349,6 +349,135 @@ def _cmd_explore(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_litmus(args: argparse.Namespace) -> None:
+    """Enumerate litmus-test outcomes per memory model (Section 5.5)."""
+    import json
+    import os
+
+    from repro.explore import replay
+    from repro.memmodel.litmus import (
+        LITMUS_TESTS,
+        MODELS,
+        default_plan,
+        enumerate_litmus,
+        litmus_scenario,
+    )
+
+    if args.replay:
+        from repro.explore import DecisionTrace
+
+        trace = DecisionTrace.load(args.replay)
+        test_name = trace.meta.get("test", "")
+        model = trace.meta.get("model", "")
+        if test_name not in LITMUS_TESTS or model not in MODELS:
+            print(f"trace names unknown litmus pair {test_name!r}/{model!r}",
+                  file=sys.stderr)
+            raise SystemExit(1)
+        scenario, state = litmus_scenario(test_name, model)
+        seed = int(trace.meta.get("seed", args.seed))
+        outcome = replay(scenario, trace.choices, seed=seed)
+        print(outcome.trace.render())
+        registers = state.get("outcome")
+        print(f"litmus {test_name}/{model} outcome: {registers}")
+        failed = False
+        expected_hash = trace.meta.get("trace_hash")
+        if expected_hash and expected_hash != outcome.fingerprint.get("trace"):
+            print(f"REPLAY DIVERGED: trace hash "
+                  f"{outcome.fingerprint.get('trace')} != recorded "
+                  f"{expected_hash}")
+            failed = True
+        recorded = trace.meta.get("outcome")
+        if recorded is not None and tuple(recorded) != registers:
+            print(f"REPLAY DID NOT REPRODUCE the recorded outcome "
+                  f"{tuple(recorded)}")
+            failed = True
+        if failed:
+            raise SystemExit(1)
+        print("replay ok"
+              + (" (trace hash verified)" if expected_hash else ""))
+        return
+
+    tests = (list(LITMUS_TESTS) if args.test == "all"
+             else [part.strip() for part in args.test.split(",") if part.strip()])
+    models = (list(MODELS) if args.model == "all"
+              else [part.strip() for part in args.model.split(",") if part.strip()])
+    unknown = [t for t in tests if t not in LITMUS_TESTS]
+    unknown += [m for m in models if m not in MODELS]
+    if unknown:
+        print(f"unknown test/model selector(s): {unknown}; tests: "
+              f"{sorted(LITMUS_TESTS)}, models: {list(MODELS)}",
+              file=sys.stderr)
+        raise SystemExit(1)
+
+    pairs = []
+    all_ok = True
+    for test_name in tests:
+        test = LITMUS_TESTS[test_name]
+        for model in models:
+            strategy, budget = default_plan(test_name, model)
+            if args.strategy:
+                strategy = args.strategy
+            if args.budget:
+                budget = args.budget
+            result = enumerate_litmus(
+                test_name, model, strategy=strategy, budget=budget,
+                seed=args.seed,
+            )
+            sound = not result.forbidden and not result.harness_failures
+            complete = result.reached == result.expected
+            entry = result.to_dict()
+            entry["complete"] = complete
+            coverage = ("exhausted" if result.exhausted
+                        else f"sampled {result.runs}")
+            relaxed = sorted(test.relaxed_outcomes(model) & result.reached)
+            beyond = (f"  beyond-SC: {relaxed}" if relaxed else "")
+            verdict = ("ok" if sound and complete else
+                       "UNSOUND" if not sound else "INCOMPLETE")
+            print(f"{test_name:>5}/{model:<4} {strategy:>10} "
+                  f"({coverage:>14})  reached {len(result.reached):>2}"
+                  f"/{len(result.expected):>2} pinned outcomes"
+                  f"{beyond}  -> {verdict}")
+            if not sound:
+                for registers, violation in result.forbidden:
+                    print(f"       forbidden outcome {registers}: {violation}")
+            if not complete:
+                print(f"       missing: {sorted(result.expected - result.reached)}")
+            if args.trace_dir:
+                os.makedirs(args.trace_dir, exist_ok=True)
+                saved = []
+                for registers in relaxed:
+                    witness = result.witnesses[registers]
+                    witness.trace.meta.update(
+                        scenario=f"litmus-{test_name}-{model}",
+                        test=test_name,
+                        model=model,
+                        outcome=list(registers),
+                        seed=witness.seed,
+                        trace_hash=witness.fingerprint.get("trace"),
+                    )
+                    tag = "".join(str(bit) for bit in registers)
+                    path = os.path.join(
+                        args.trace_dir,
+                        f"litmus-{test_name}-{model}-{tag}.trace.json",
+                    )
+                    witness.trace.save(path)
+                    saved.append(path)
+                    print(f"       witness {registers} -> {path}")
+                entry["witness_paths"] = saved
+            pairs.append(entry)
+            all_ok = all_ok and sound and complete
+    print(f"\n{len(pairs)} litmus pairs: "
+          f"{'all reachable sets match the pins' if all_ok else 'FAILED'}")
+    if args.output:
+        report = {"seed": args.seed, "pairs": pairs, "ok": all_ok}
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote report to {args.output}")
+    if not all_ok:
+        raise SystemExit(1)
+
+
 def _chaos_as_explore_scenario(name: str, meta: dict):
     """Wrap a chaos scenario so a saved chaos trace can be replayed."""
     from repro.analysis.chaos import (
@@ -520,6 +649,10 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
                               "kernel's scheduling/fault decision space for "
                               "invariant violations and shrink each find to "
                               "a minimal replayable counterexample"),
+    "litmus": (_cmd_litmus, "enumerate reachable outcomes of the classic "
+                            "SB/MP/LB/IRIW litmus tests under the sc/tso/"
+                            "pso memory models and check the pinned "
+                            "expectation tables"),
     "serve": (_cmd_serve, "run the multi-tenant RPC server world and print "
                           "its latency-SLO report (p50/p95/p99/p999, "
                           "shed/timeout/retry counters, stats digest)"),
@@ -639,6 +772,27 @@ def main(argv: list[str] | None = None) -> int:
             sub.add_argument("--output", default=None,
                              help="write the JSON report here (minimal "
                                   "traces are saved alongside it)")
+        if name == "litmus":
+            sub.add_argument("--test", default="all",
+                             help="litmus test name or comma list: sb, mp, "
+                                  "lb, iriw (default all)")
+            sub.add_argument("--model", default="all",
+                             help="memory model or comma list: sc, tso, pso "
+                                  "(default all)")
+            sub.add_argument("--strategy", default=None,
+                             choices=["random", "pct", "seeds", "exhaustive"],
+                             help="override the per-pair default search "
+                                  "(exhaustive; random for IRIW)")
+            sub.add_argument("--budget", type=int, default=None,
+                             help="override the per-pair schedule budget")
+            sub.add_argument("--trace-dir", default=None, metavar="DIR",
+                             help="save a replayable witness trace for every "
+                                  "beyond-SC outcome reached")
+            sub.add_argument("--replay", default=None, metavar="FILE",
+                             help="replay a saved witness trace; verifies "
+                                  "the recorded hash and outcome")
+            sub.add_argument("--output", default=None,
+                             help="write the JSON report here")
         if name == "chaos":
             sub.add_argument("--runs", type=int, default=14,
                              help="sampled fault-plan runs (default 14)")

@@ -82,6 +82,7 @@ class CacheTier:
         name: str = "cache",
         workers: int = 2,
         single_flight: bool = True,
+        capacity: "int | None" = None,
     ) -> None:
         self.world = world
         self.kernel = world.kernel
@@ -106,7 +107,11 @@ class CacheTier:
         )
         #: Backend fetch verdicts land here ((verdict, fetch) pairs).
         self.fill_q = UnboundedQueue(f"{name}.fill", get_timeout=self.poll)
-        #: key -> absolute expiry time of the cached entry.
+        #: key -> absolute expiry time of the cached entry, in LRU order
+        #: (oldest first): hits reinsert, fills append, and a fill into a
+        #: full cache evicts the front.  ``capacity=None`` means
+        #: unbounded (TTL and invalidation are then the only eviction).
+        self.capacity = capacity
         self.entries: dict[str, int] = {}
         #: key -> in-flight fetch rid (single-flight guard state).
         self.inflight: dict[str, str] = {}
@@ -135,6 +140,8 @@ class CacheTier:
         self.expired_entries = 0
         self.invalidated = 0
         self.passthrough = 0
+        #: Entries pushed out by a fill landing in a full cache.
+        self.evictions = 0
 
     # -- construction -------------------------------------------------------
 
@@ -218,6 +225,9 @@ class CacheTier:
             expiry = self.entries.get(req.key)
             if expiry is not None and now < expiry:
                 self.hits += 1
+                if self.capacity is not None:
+                    # LRU touch: reinsert at the back of the dict order.
+                    self.entries[req.key] = self.entries.pop(req.key)
                 yield Compute(HIT_COST)
                 yield from self._complete(req)
                 continue
@@ -278,6 +288,15 @@ class CacheTier:
                 # restocking the cache, so the misses never stop.
                 expiry = fetch.intended + fetch.tenant.cache_ttl
                 if expiry > now:
+                    if self.capacity is not None:
+                        # A fill is a use: refreshes move to the back,
+                        # and a fill into a full cache evicts the LRU
+                        # entry (the dict front).
+                        self.entries.pop(key, None)
+                        if len(self.entries) >= self.capacity:
+                            evicted = next(iter(self.entries))
+                            del self.entries[evicted]
+                            self.evictions += 1
                     self.entries[key] = expiry
                 else:
                     self.stale_fills += 1
@@ -370,6 +389,8 @@ class CacheTier:
             "expired_entries": self.expired_entries,
             "invalidated": self.invalidated,
             "passthrough": self.passthrough,
+            "evictions": self.evictions,
+            "capacity": self.capacity,
             "amplification": round(self.amplification, 6),
             "max_inflight_per_key": self.max_inflight_per_key,
             "single_flight": self.single_flight,

@@ -314,3 +314,15 @@ def resolve(selector: str) -> "list[ExploreScenario]":
             "plus the groups 'directed', 'clean', 'all'"
         )
     return [SCENARIOS[name] for name in names]
+
+
+# Litmus-test scenarios (litmus-sb-tso, litmus-mp-pso, ...) register in
+# SCENARIOS so a saved witness trace replays through the generic
+# --replay path; like the replicated cluster they are select-by-name
+# only and stay out of the 'all' sweep.  Imported at module bottom:
+# litmus.py needs ExploreScenario (defined above) at call time.
+from repro.memmodel.litmus import explore_scenarios as _litmus_scenarios
+
+for _litmus in _litmus_scenarios():
+    SCENARIOS[_litmus.name] = _litmus
+del _litmus

@@ -95,8 +95,11 @@ class PctStrategy(Strategy):
             return priorities[label]
 
         def chooser(point: DecisionPoint) -> "int | None":
-            if not point.site.startswith("sched."):
-                return None  # faults follow the plan's own sampling
+            # Scheduler picks and store-buffer drains are both "which
+            # thread steps next" choices; faults follow the plan's own
+            # (per-decision-forked) sampling.
+            if not (point.site.startswith("sched.") or point.site == "mem.drain"):
+                return None
             if not point.labels:
                 return None
             best = max(range(point.n), key=lambda i: priority_of(point.labels[i]))

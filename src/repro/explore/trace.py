@@ -58,6 +58,12 @@ SITE_KILL = "fault.kill"
 SITE_KILL_VICTIM = "fault.kill_victim"
 SITE_FORK_FAIL = "fault.fork_fail"
 SITE_TIMER_JITTER = "fault.timer_jitter"
+#: Store-buffer drain offer under the tso/pso memory models: choice 0
+#: holds every buffer (the baseline and recorded default); choice k
+#: commits the k-th offered store.  Labels name the owning thread and
+#: variable ("writer drains flag"), so rendered traces read as
+#: interleavings of commits.
+SITE_MEM_DRAIN = "mem.drain"
 
 
 @dataclass(frozen=True)

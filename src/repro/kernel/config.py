@@ -42,6 +42,12 @@ FORK_FAILURE_WAIT = "wait"
 MEMORY_STRONG = "strong"
 MEMORY_WEAK = "weak"
 
+MODEL_SC = "sc"
+MODEL_TSO = "tso"
+MODEL_PSO = "pso"
+MODEL_WEAK = "weak"
+MEMORY_MODELS = (MODEL_SC, MODEL_TSO, MODEL_PSO, MODEL_WEAK)
+
 SCHED_STRICT = "strict"
 SCHED_FAIR_SHARE = "fair_share"
 
@@ -86,8 +92,21 @@ class KernelConfig:
     #: controlling moment-by-moment processor allocation".
     scheduler_policy: str = SCHED_STRICT
     #: Memory model for SimVar/SimRecord: "strong" or "weak" (Section 5.5).
+    #: Legacy knob; ``memory_order="weak"`` is an alias for
+    #: ``memory_model="weak"``.
     memory_order: str = MEMORY_STRONG
-    #: Store-buffer flush latency under weak ordering.
+    #: Memory-model seam (:mod:`repro.memmodel`): "sc" (default —
+    #: sequential consistency, every store globally visible at once),
+    #: "tso" (x86-TSO: per-thread FIFO store buffers with store-to-load
+    #: forwarding; only store→load reordering is possible), "pso"
+    #: (per-thread buffers that are FIFO per *variable* only, so stores
+    #: to different variables drain out of program order — the §5.5
+    #: machine), or "weak" (the original per-CPU randomly-delayed
+    #: buffer, kept byte-identical for the legacy case studies).
+    memory_model: str = MODEL_SC
+    #: Store-buffer flush latency under the buffered models (tso/pso/
+    #: weak): an undrained store becomes globally visible at most this
+    #: many microseconds after issue.
     store_buffer_delay: int = usec(5)
     #: Run the dynamic race detector (Eraser locksets + happens-before
     #: vector clocks, :mod:`repro.analysis.races`) over every SimVar
@@ -144,6 +163,20 @@ class KernelConfig:
             raise ValueError(f"bad fork_failure: {self.fork_failure!r}")
         if self.memory_order not in (MEMORY_STRONG, MEMORY_WEAK):
             raise ValueError(f"bad memory_order: {self.memory_order!r}")
+        if self.memory_model not in MEMORY_MODELS:
+            raise ValueError(f"bad memory_model: {self.memory_model!r}")
+        if self.memory_order == MEMORY_WEAK:
+            # Legacy spelling: memory_order="weak" selects the original
+            # per-CPU delayed-visibility model.
+            if self.memory_model == MODEL_SC:
+                self.memory_model = MODEL_WEAK
+            elif self.memory_model != MODEL_WEAK:
+                raise ValueError(
+                    "memory_order='weak' conflicts with "
+                    f"memory_model={self.memory_model!r}"
+                )
+        elif self.memory_model == MODEL_WEAK:
+            self.memory_order = MEMORY_WEAK
         if self.scheduler_policy not in (SCHED_STRICT, SCHED_FAIR_SHARE):
             raise ValueError(f"bad scheduler_policy: {self.scheduler_policy!r}")
         if self.switch_cost < 0 or self.monitor_overhead < 0:

@@ -52,7 +52,7 @@ from repro.kernel.errors import (
 )
 from repro.kernel.events import EventHeap
 from repro.kernel.instrumentation import Tracer
-from repro.kernel.memory import MemorySystem, SimVar
+from repro.kernel.memory import SimVar, create_memory_model
 from repro.kernel.primitives import (
     Annotate,
     Broadcast,
@@ -207,7 +207,7 @@ class Kernel:
             MemRead: self._h_mem_read,
             Fence: self._h_fence,
         }
-        self.memory = MemorySystem(self.config, self.rng.fork("memory"))
+        self.memory = create_memory_model(self.config, self.rng.fork("memory"))
         #: Every SimVar touched through traps, so fences can drain buffers.
         self._vars_seen: dict[int, SimVar] = {}
         #: Passive race detector (Eraser lockset + happens-before), or
@@ -1110,32 +1110,69 @@ class Kernel:
 
     def _h_mem_write(self, cpu: Cpu, thread: SimThread, trap: MemWrite) -> _Outcome:
         self._vars_seen[trap.var.uid] = trap.var
-        self.memory.store(trap.var, trap.value, cpu.index, self.now)
+        token = None
         if self.race_detector is not None:
             # The detector sees the access with the thread's current
-            # holding-lockset (thread.held_monitors) attached.
-            self.race_detector.on_write(thread, trap.var, self.now)
+            # holding-lockset (thread.held_monitors) attached.  The
+            # returned write token travels with the stored value so a
+            # later reader can report which write it observed.
+            token = self.race_detector.on_write(thread, trap.var, self.now)
+        if self.controller is not None and self.memory.drainable:
+            self._offer_mem_drains()
+        self.memory.store(
+            trap.var, trap.value, cpu.index, self.now, thread=thread, token=token
+        )
         thread.pending_send = None
         return _Outcome.CONTINUE
 
     def _h_mem_read(self, cpu: Cpu, thread: SimThread, trap: MemRead) -> _Outcome:
         self._vars_seen[trap.var.uid] = trap.var
-        thread.pending_send = self.memory.load(trap.var, cpu.index, self.now)
+        if self.controller is not None and self.memory.drainable:
+            self._offer_mem_drains()
+        value, token = self.memory.load_observed(
+            trap.var, cpu.index, self.now, thread=thread
+        )
+        thread.pending_send = value
         if self.race_detector is not None:
-            self.race_detector.on_read(thread, trap.var, self.now)
+            self.race_detector.on_read(thread, trap.var, self.now, observed=token)
         return _Outcome.CONTINUE
 
     def _h_fence(self, cpu: Cpu, thread: SimThread, trap: Fence) -> _Outcome:
-        self._fence(cpu)
+        self._fence(cpu, thread)
         if self.race_detector is not None:
             self.race_detector.on_fence(thread)
         thread.pending_send = None
         return _Outcome.CONTINUE
 
-    def _fence(self, cpu: Cpu) -> None:
-        if not self.memory.weak:
+    def _fence(self, cpu: Cpu, thread: SimThread) -> None:
+        if not self.memory.buffered:
             return  # strong ordering: fences are free no-ops
-        self.memory.fence_cpu(cpu.index, list(self._vars_seen.values()))
+        self.memory.fence_cpu(cpu.index, list(self._vars_seen.values()), thread=thread)
+
+    def _offer_mem_drains(self) -> None:
+        """Controller-visible store-buffer drains (``mem.drain`` sites).
+
+        Before each memory access, every buffered store the model could
+        legally commit next is offered to the schedule controller as one
+        decision: choice 0 holds all buffers (the recorded default —
+        buffers then drain only by age or fences, exactly as in an
+        uncontrolled run), choice k commits option k.  Draining re-offers
+        until the controller holds, so an explorer can flush any legal
+        combination at any access boundary.
+        """
+        memory = self.memory
+        controller = self.controller
+        while True:
+            options = memory.drain_options()
+            if not options:
+                return
+            labels = ("hold buffers",) + tuple(label for _key, label in options)
+            choice = controller.decide(
+                "mem.drain", len(options) + 1, lambda _seq: 0, labels=labels
+            )
+            if choice == 0:
+                return
+            memory.drain_option(options[choice - 1][0], self.now)
 
     # -- monitors and condition variables ---------------------------------
 
@@ -1144,7 +1181,7 @@ class Kernel:
         # "The monitor implementation for weak ordering can use memory
         # barrier instructions to ensure that all monitor-protected data
         # access is consistent."
-        self._fence(cpu)
+        self._fence(cpu, thread)
         monitor.enters += 1
         self.stats.ml_enters += 1
         thread.stats.monitor_enters += 1
@@ -1209,7 +1246,7 @@ class Kernel:
             # Inheritance ablation: drop back to the pre-boost priority.
             thread.priority = monitor.boost_restore
             monitor.boost_restore = None
-        self._fence(cpu)
+        self._fence(cpu, thread)
         self._hand_off_monitor(monitor)
         if self._trace_monitor:
             self.tracer.record(

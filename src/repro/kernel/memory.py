@@ -32,7 +32,7 @@ from __future__ import annotations
 import itertools
 from typing import Any
 
-from repro.kernel.config import MEMORY_WEAK, KernelConfig
+from repro.kernel.config import MODEL_PSO, MODEL_TSO, MODEL_WEAK, KernelConfig
 
 _uid_counter = itertools.count(1)
 
@@ -41,17 +41,21 @@ class SimVar:
     """One shared memory cell.
 
     ``committed`` holds the globally visible value; ``pending`` holds
-    in-flight stores as ``(visible_at, cpu_index, value)`` tuples in
-    program order.
+    in-flight stores as ``(visible_at, cpu_index, value, token)`` tuples
+    in program order.  ``token`` is the race detector's write token for
+    the committed value (None when race detection is off or the value is
+    the initial one) — it rides along so a reader can tell the detector
+    *which* write it observed.
     """
 
-    __slots__ = ("uid", "name", "committed", "pending")
+    __slots__ = ("uid", "name", "committed", "pending", "token")
 
     def __init__(self, name: str, initial: Any = None) -> None:
         self.uid = next(_uid_counter)
         self.name = name
         self.committed = initial
-        self.pending: list[tuple[int, int, Any]] = []
+        self.pending: list[tuple[int, int, Any, Any]] = []
+        self.token: Any = None
 
     def __repr__(self) -> str:
         return f"<SimVar {self.name!r}={self.committed!r} pending={len(self.pending)}>"
@@ -68,8 +72,15 @@ class MemorySystem:
     store to a variable is visible, earlier ones can never resurface.
     """
 
+    #: No controller-visible drain points: the legacy models commit on
+    #: time and fences only (see :mod:`repro.memmodel` for the seam).
+    drainable = False
+
     def __init__(self, config: KernelConfig, rng: Any) -> None:
-        self.weak = config.memory_order == MEMORY_WEAK
+        self.weak = config.memory_model == MODEL_WEAK
+        #: Whether stores can be buffered at all — the kernel's fence
+        #: fast path skips the memory system entirely when this is False.
+        self.buffered = self.weak
         self._delay = max(1, config.store_buffer_delay)
         self._rng = rng
         #: Fences that actually drained a store buffer.  Under strong
@@ -83,36 +94,56 @@ class MemorySystem:
         #: (i.e. a stale read) — the §5.5 hazard counter.
         self.stale_loads = 0
 
-    def store(self, var: SimVar, value: Any, cpu_index: int, now: int) -> None:
+    def store(
+        self,
+        var: SimVar,
+        value: Any,
+        cpu_index: int,
+        now: int,
+        thread: Any = None,
+        token: Any = None,
+    ) -> None:
         self.stores += 1
         if not self.weak:
             var.committed = value
+            var.token = token
             return
         self._drain_visible(var, now)
         delay = self._rng.randint(1, self._delay)
-        var.pending.append((now + delay, cpu_index, value))
+        var.pending.append((now + delay, cpu_index, value, token))
 
     def load(self, var: SimVar, cpu_index: int, now: int) -> Any:
+        return self.load_observed(var, cpu_index, now)[0]
+
+    def load_observed(
+        self, var: SimVar, cpu_index: int, now: int, thread: Any = None
+    ) -> tuple[Any, Any]:
+        """Like :meth:`load`, also returning the observed write token."""
         self.loads += 1
         if not self.weak:
-            return var.committed
+            return var.committed, var.token
         self._drain_visible(var, now)
         # Store-to-load forwarding: this CPU sees its own latest store.
         newest_here = None
         newest_anywhere = False
-        for _visible_at, writer_cpu, value in reversed(var.pending):
+        for _visible_at, writer_cpu, value, token in reversed(var.pending):
             newest_anywhere = True
             if writer_cpu == cpu_index:
-                newest_here = (value,)
+                newest_here = (value, token)
                 break
         if newest_here is not None:
-            return newest_here[0]
+            return newest_here
         if newest_anywhere:
             # Another CPU has a newer in-flight value we cannot see yet.
             self.stale_loads += 1
-        return var.committed
+        return var.committed, var.token
 
-    def fence_cpu(self, cpu_index: int, vars_touched: list[SimVar] | None = None) -> None:
+    def fence_cpu(
+        self,
+        cpu_index: int,
+        vars_touched: list[SimVar] | None = None,
+        thread: Any = None,
+    ) -> None:
         """Drain this CPU's store buffer: its stores become visible now.
 
         With no var list we cannot enumerate all SimVars, so SimVar keeps
@@ -130,13 +161,16 @@ class MemorySystem:
         self.fences += 1
         for var in vars_touched:
             last_mine = -1
-            for index, (_visible_at, writer_cpu, _value) in enumerate(var.pending):
+            for index, (_visible_at, writer_cpu, _value, _token) in enumerate(
+                var.pending
+            ):
                 if writer_cpu == cpu_index:
                     last_mine = index
             if last_mine >= 0:
                 # Committing our newest store supersedes everything older,
                 # whoever wrote it (coherence).
                 var.committed = var.pending[last_mine][2]
+                var.token = var.pending[last_mine][3]
                 var.pending = var.pending[last_mine + 1:]
 
     def _drain_visible(self, var: SimVar, now: int) -> None:
@@ -149,9 +183,26 @@ class MemorySystem:
         if not var.pending:
             return
         last_visible = -1
-        for index, (visible_at, _writer_cpu, _value) in enumerate(var.pending):
+        for index, (visible_at, _writer_cpu, _value, _token) in enumerate(
+            var.pending
+        ):
             if visible_at <= now:
                 last_visible = index
         if last_visible >= 0:
             var.committed = var.pending[last_visible][2]
+            var.token = var.pending[last_visible][3]
             var.pending = var.pending[last_visible + 1:]
+
+
+def create_memory_model(config: KernelConfig, rng: Any) -> Any:
+    """Instantiate the memory model ``config.memory_model`` selects.
+
+    The store-buffer models live in :mod:`repro.memmodel` (a layer above
+    the kernel); the import is deferred so the default ``sc`` and legacy
+    ``weak`` paths never touch that package and no import cycle forms.
+    """
+    if config.memory_model in (MODEL_TSO, MODEL_PSO):
+        from repro.memmodel.storebuffer import StoreBufferMemory
+
+        return StoreBufferMemory(config, rng, fifo=config.memory_model == MODEL_TSO)
+    return MemorySystem(config, rng)

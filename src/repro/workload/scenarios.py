@@ -67,6 +67,8 @@ class WorkloadSpec:
     admission_capacity: int = 64
     #: Extra cache worker threads (only used when ``cache`` is on).
     cache_workers: int = 2
+    #: LRU entry capacity of the cache tier; None means unbounded.
+    cache_capacity: "int | None" = None
     notes: str = ""
 
     @property

@@ -147,6 +147,7 @@ def build_workload_world(
             spec.tenants,
             workers=spec.cache_workers,
             single_flight=single_flight,
+            capacity=spec.cache_capacity,
         )
         cache.start()
         frontend = cache

@@ -153,3 +153,44 @@ def test_cache_run_is_deterministic():
     second, second_cache = _run(spec)
     assert first.digest == second.digest
     assert first_cache == second_cache
+
+
+# -- capacity: LRU eviction --------------------------------------------------
+
+def test_unbounded_cache_never_evicts():
+    spec = _spec("nolimit", (_reads(_cached_tenant(ttl=sec(10))),))
+    _, cache = _run(spec)
+    assert cache["capacity"] is None
+    assert cache["evictions"] == 0
+
+
+def test_capacity_evicts_lru():
+    """A cache smaller than the key space churns: fills into the full
+    map push out the least-recently-used entry and the live map never
+    exceeds the configured capacity."""
+    tenant = _cached_tenant(ttl=sec(10), keys=4, hot=0.0)
+    spec = _spec("bounded", (_reads(tenant),), cache_capacity=2)
+    _, cache = _run(spec)
+    assert cache["capacity"] == 2
+    assert cache["evictions"] > 0
+    assert cache["live_entries"] <= 2
+    # Every eviction is a future miss: with 4 uniformly drawn keys and
+    # room for 2, refills (fetch windows beyond the first fill of each
+    # key) must keep happening.
+    assert cache["fetch_windows"] > 4
+
+
+def test_capacity_one_keeps_single_flight_amplification():
+    """The ISSUE pin: even a capacity-1 cache (maximum churn — every
+    fill for a new key evicts the previous entry) keeps the guard's
+    amplification at exactly 1.0: eviction storms widen miss windows
+    but never mint duplicate fetches."""
+    tenant = _cached_tenant(ttl=sec(10), keys=3, hot=0.5)
+    spec = _spec("tiny", (_reads(tenant),), cache_capacity=1)
+    _, cache = _run(spec, single_flight=True)
+    assert cache["capacity"] == 1
+    assert cache["evictions"] > 0
+    assert cache["live_entries"] <= 1
+    assert cache["fetches"] == cache["fetch_windows"]
+    assert cache["amplification"] == 1.0
+    assert cache["max_inflight_per_key"] == 1

@@ -128,6 +128,59 @@ class TestGoldenRecordReplay:
             assert replayed == recorded, f"{name}: replay diverged"
             assert replayer.divergences == 0, f"{name}: clamped choices"
 
+    def test_recording_does_not_perturb_a_tso_run(self):
+        """Record mode on a store-buffer model: every mem.drain site
+        resolves to choice 0 ("hold buffers", the uncontrolled
+        behaviour), so recording is invisible to the run — the same
+        property the golden scenarios pin for sc/weak, extended to the
+        drain seam."""
+        from repro.analysis.golden import fingerprint
+        from repro.kernel import KernelConfig
+        from repro.memmodel.litmus import litmus_scenario
+
+        scenario, _state = litmus_scenario("sb", "tso")
+
+        def run_once(controller):
+            config = KernelConfig(seed=0)
+            if controller is not None:
+                config.schedule_controller = controller
+            kernel, shutdown = scenario.build(config)
+            try:
+                kernel.run_for(scenario.horizon)
+                return fingerprint(kernel)
+            finally:
+                shutdown()
+
+        uncontrolled = run_once(None)
+        recorder = ScheduleController(tail=TAIL_DEFAULT)
+        recorded = run_once(recorder)
+        assert recorded == uncontrolled
+        drains = [d for d in recorder.trace.decisions
+                  if d.site == "mem.drain"]
+        assert drains, "a tso run must offer drain decisions"
+        assert all(d.choice == 0 for d in drains)
+
+    def test_mem_drain_decisions_record_and_replay_identically(self):
+        """A driven tso run that commits buffered stores at explored
+        points replays byte-identical from its recorded choices."""
+        from repro.explore.driver import run_schedule
+        from repro.explore.strategies import make_strategy
+        from repro.memmodel.litmus import litmus_scenario
+
+        scenario, _state = litmus_scenario("sb", "tso")
+        strategy = make_strategy("random", seed=7)
+        drained = 0
+        for index in range(6):
+            controller = strategy.controller(index)
+            driven = run_schedule(scenario, controller, seed=0, index=index)
+            strategy.observe(driven.trace)
+            drained += sum(1 for d in driven.trace.decisions
+                           if d.site == "mem.drain" and d.choice > 0)
+            again = replay(scenario, driven.trace.choices, seed=0)
+            assert again.fingerprint == driven.fingerprint, f"run {index}"
+            assert again.trace.choices == driven.trace.choices
+        assert drained, "the random walk must exercise drain choices"
+
 
 class TestDirectedExploration:
     def test_wait_if_found_and_minimized_within_budget(self):
@@ -407,12 +460,20 @@ class TestScenarioRegistry:
             "producer-consumer", "cedar-idle"
         ]
         # "all" is directed + clean; heavyweight scenarios (the
-        # replicated cluster) are selected by name only.
-        assert len(resolve("all")) == len(SCENARIOS) - 1
-        assert "cluster-failover" not in {s.name for s in resolve("all")}
+        # replicated cluster) and the litmus battery are select-by-name.
+        all_names = {s.name for s in resolve("all")}
+        assert all_names == {
+            "wait-if", "abba", "stolen-notify",
+            "producer-consumer", "cedar-idle",
+        }
+        assert "cluster-failover" not in all_names
         assert [s.name for s in resolve("cluster-failover")] == [
             "cluster-failover"
         ]
+        # Every litmus (test, model) pair registers for --replay.
+        assert "litmus-sb-tso" in SCENARIOS
+        assert "litmus-iriw-pso" in SCENARIOS
+        assert [s.name for s in resolve("litmus-mp-pso")] == ["litmus-mp-pso"]
         assert [s.name for s in resolve("abba,wait-if")] == [
             "abba", "wait-if"
         ]
